@@ -1,0 +1,20 @@
+// Figure 9: invalid parity ratio under different conversion approaches
+// using various RAID-6 codes. Direct conversion with Code 5-6 (and the
+// RAID-5->RAID-4->RAID-6 route) invalidates nothing; the via-RAID-0
+// route and the vertical codes NULL every old parity (1/(m-1) of B).
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  std::cout << "Figure 9 -- invalid parity ratio (relative to B)\n\n";
+  c56::ana::conversion_table(
+      c56::ana::figure_conversion_set(false), "invalid parity ratio",
+      [](const c56::mig::ConversionCosts& c) {
+        return c.invalid_parity_ratio;
+      },
+      /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

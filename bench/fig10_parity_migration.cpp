@@ -1,0 +1,22 @@
+// Figure 10: old parity migration ratio. Only the RAID-5->RAID-4 route
+// physically moves old parities (1/(m-1) of B); HDP's direct conversion
+// modifies them in place (counted here as the paper's "migration &
+// modification" ratio); Code 5-6 moves nothing -- the headline "up to
+// 100% decrease" of Section V-B.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  std::cout << "Figure 10 -- old parity migration/modification ratio "
+               "(relative to B)\n\n";
+  c56::ana::conversion_table(
+      c56::ana::figure_conversion_set(false), "old parity migration ratio",
+      [](const c56::mig::ConversionCosts& c) {
+        return c.parity_migration_ratio;
+      },
+      /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

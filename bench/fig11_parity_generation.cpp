@@ -1,0 +1,20 @@
+// Figure 11: new parity generation ratio. Code 5-6 only generates the
+// dedicated diagonal column -- 1/(p-2) of B (33.3% at p=5) -- while the
+// via-RAID-0 route regenerates every parity of the target code (up to
+// 80% fewer new parities for Code 5-6, Section V-B).
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  std::cout << "Figure 11 -- new parity generation ratio (relative to B)\n\n";
+  c56::ana::conversion_table(
+      c56::ana::figure_conversion_set(false), "new parity generation ratio",
+      [](const c56::mig::ConversionCosts& c) {
+        return c.new_parity_generation_ratio;
+      },
+      /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

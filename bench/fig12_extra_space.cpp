@@ -1,0 +1,18 @@
+// Figure 12: extra space ratio -- the fraction of every disk that must
+// be reserved before conversion. In-place vertical codes pay the most
+// (X-Code: 2/p, i.e. 40% at p=5, Fig. 1(c)); Code 5-6 and the dedicated
+// parity-disk routes reserve nothing.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  std::cout << "Figure 12 -- extra space ratio (fraction of each disk)\n\n";
+  c56::ana::conversion_table(
+      c56::ana::figure_conversion_set(false), "extra space ratio",
+      [](const c56::mig::ConversionCosts& c) { return c.extra_space_ratio; },
+      /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

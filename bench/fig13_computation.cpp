@@ -1,0 +1,40 @@
+// Figure 13: computation cost (XOR operations, normalized to B = 100%).
+// Includes the cross-code comparison at the paper's disk counts and the
+// growing-p trend ("with increasing number of disks, the computation
+// cost rises due to longer parity chains"). Code 5-6 decreases the
+// computation cost by up to 76.4% (Section V-B).
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  using c56::mig::Approach;
+  using c56::mig::ConversionCosts;
+  const auto metric = [](const ConversionCosts& c) { return c.xor_per_block; };
+
+  std::cout << "Figure 13 -- computation cost (XORs / B, B == 100%)\n\n";
+  c56::ana::conversion_table(c56::ana::figure_conversion_set(false),
+                             "XORs per data block", metric,
+                             /*as_percent=*/true)
+      .print(std::cout);
+
+  std::cout << "\nTrend with increasing disks (per code family, best-known "
+               "approach):\n\n";
+  struct Family {
+    c56::CodeId code;
+    Approach approach;
+  };
+  for (const Family f : {Family{c56::CodeId::kRdp, Approach::kViaRaid4},
+                         Family{c56::CodeId::kEvenOdd, Approach::kViaRaid4},
+                         Family{c56::CodeId::kXCode, Approach::kDirect},
+                         Family{c56::CodeId::kCode56, Approach::kDirect}}) {
+    c56::ana::conversion_table(c56::ana::family_sweep(f.code, f.approach,
+                                                      false),
+                               "XORs per data block", metric,
+                               /*as_percent=*/true)
+        .print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

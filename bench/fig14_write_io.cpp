@@ -1,0 +1,25 @@
+// Figure 14: write I/Os in the conversion process (B writes == 100%).
+// Code 5-6 writes only the p-1 diagonal parities per stripe -- B/(p-2)
+// -- decreasing write I/Os by up to 80% (Section V-B).
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  const auto metric = [](const c56::mig::ConversionCosts& c) {
+    return c.write_io;
+  };
+  std::cout << "Figure 14 -- write I/Os (relative to B == 100%)\n\n";
+  c56::ana::conversion_table(c56::ana::figure_conversion_set(false),
+                             "write I/Os", metric, /*as_percent=*/true)
+      .print(std::cout);
+
+  std::cout << "\nTrend with increasing disks (Code 5-6 direct):\n\n";
+  c56::ana::conversion_table(
+      c56::ana::family_sweep(c56::CodeId::kCode56,
+                             c56::mig::Approach::kDirect, false),
+      "write I/Os", metric, /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 16: conversion time without load balancing support
+// (B*Te == 100%). Time is the sum over sequential phases of the
+// busiest disk's I/O count; Code 5-6 finishes in B*Te/3 at p=5 (the
+// Section V-A example) because only the new disk takes writes while
+// reads spread across the original spindles.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  const auto metric = [](const c56::mig::ConversionCosts& c) {
+    return c.time;
+  };
+  std::cout << "Figure 16 -- conversion time, no load balancing "
+               "(relative to B*Te == 100%)\n\n";
+  c56::ana::conversion_table(c56::ana::figure_conversion_set(false),
+                             "conversion time", metric, /*as_percent=*/true)
+      .print(std::cout);
+
+  std::cout << "\nTrend with increasing disks (Code 5-6 direct, NLB):\n\n";
+  c56::ana::conversion_table(
+      c56::ana::family_sweep(c56::CodeId::kCode56,
+                             c56::mig::Approach::kDirect, false),
+      "conversion time", metric, /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

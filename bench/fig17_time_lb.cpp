@@ -1,0 +1,26 @@
+// Figure 17: conversion time with load balancing support
+// (B*Te == 100%). The dedicated parity columns rotate across all
+// spindles every stripe group, so each phase's time is total I/O / n.
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  const auto metric = [](const c56::mig::ConversionCosts& c) {
+    return c.time;
+  };
+  std::cout << "Figure 17 -- conversion time, load balanced "
+               "(relative to B*Te == 100%)\n\n";
+  c56::ana::conversion_table(c56::ana::figure_conversion_set(true),
+                             "conversion time", metric, /*as_percent=*/true)
+      .print(std::cout);
+
+  std::cout << "\nTrend with increasing disks (Code 5-6 direct, LB):\n\n";
+  c56::ana::conversion_table(
+      c56::ana::family_sweep(c56::CodeId::kCode56,
+                             c56::mig::Approach::kDirect, true),
+      "conversion time", metric, /*as_percent=*/true)
+      .print(std::cout);
+  return 0;
+}

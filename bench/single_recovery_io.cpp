@@ -1,0 +1,53 @@
+// Section III-E(4): hybrid single-disk recovery. For each prime p and
+// each failed data column, compare the distinct block reads of the
+// conventional all-horizontal recovery against the hybrid
+// horizontal/diagonal schedule (the Xiang et al. approach applied to
+// Code 5-6). At p=5 the paper reports 9 vs 12 reads (-33%).
+
+#include <cstdio>
+#include <sstream>
+
+#include "codes/code56.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  std::printf("Hybrid vs plain single-disk recovery reads per stripe\n\n");
+  c56::TextTable t({"p", "failed col", "plain reads", "hybrid reads",
+                    "reduction"});
+  constexpr std::size_t kBlock = 512;
+  for (int p : {5, 7, 11, 13}) {
+    c56::Code56 code(p);
+    c56::Buffer buf(static_cast<std::size_t>(code.cell_count()) * kBlock);
+    c56::StripeView v = c56::StripeView::over(buf, code.rows(), code.cols(),
+                                              kBlock);
+    c56::Rng rng(1);
+    for (int r = 0; r < code.rows(); ++r) {
+      for (int c = 0; c < code.cols(); ++c) {
+        if (code.kind({r, c}) == c56::CellKind::kData) {
+          rng.fill(v.block({r, c}).data(), kBlock);
+        }
+      }
+    }
+    code.encode(v);
+    for (int col = 0; col <= p - 2; ++col) {
+      c56::Buffer w1 = buf, w2 = buf;
+      c56::StripeView v1 =
+          c56::StripeView::over(w1, code.rows(), code.cols(), kBlock);
+      c56::StripeView v2 =
+          c56::StripeView::over(w2, code.rows(), code.cols(), kBlock);
+      const auto plain = code.recover_single_column_plain(v1, col);
+      const auto hybrid = code.recover_single_column_hybrid(v2, col);
+      t.add_row({std::to_string(p), std::to_string(col),
+                 std::to_string(plain.cells_read),
+                 std::to_string(hybrid.cells_read),
+                 c56::TextTable::pct(
+                     1.0 - static_cast<double>(hybrid.cells_read) /
+                               plain.cells_read)});
+    }
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table IV: speedup of Code 5-6 (direct conversion) over every other
+// code using its best approach, at matched array sizes n in {5, 6, 7},
+// without (NLB) and with (LB) load balancing support. The paper reports
+// speedups between 1.27 and 3.38.
+
+#include <iostream>
+
+#include "analysis/speedup.hpp"
+#include "util/table.hpp"
+
+int main() {
+  for (bool lb : {false, true}) {
+    std::cout << "Table IV -- Code 5-6 speedup over best approaches ("
+              << (lb ? "LB" : "NLB") << ")\n\n";
+    c56::TextTable t({"n", "vs code", "their best conversion", "speedup"});
+    for (const c56::ana::SpeedupEntry& e : c56::ana::table4(lb)) {
+      t.add_row({std::to_string(e.n), to_string(e.other),
+                 e.other_spec.label(),
+                 c56::TextTable::fmt(e.speedup, 2) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table VI: reliability of the conversion approaches, quantified. For
+// each conversion of a 0.6M-block array (4 KB blocks, Te ~ 8.5 ms
+// random access), print the conversion window, the failures tolerated
+// inside it, and the probability of data loss during the window for a
+// year-2 disk population (AFR 8.1%, Table I).
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "analysis/risk.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const double blocks = argc > 1 ? std::atof(argv[1]) : 600'000.0;
+  const double te_ms = 8.5;
+  const double afr = 0.081;
+
+  std::printf(
+      "Table VI (quantified) -- conversion-window risk, B=%.0f blocks, "
+      "Te=%.1f ms, AFR=%.1f%%\n\n",
+      blocks, te_ms, afr * 100);
+  c56::TextTable t({"conversion", "window (h)", "tolerates",
+                    "P(data loss)", "paper rating"});
+  for (const auto& spec : c56::ana::figure_conversion_set(false)) {
+    const auto risk =
+        c56::ana::conversion_window_risk(spec, blocks, te_ms, afr);
+    char prob[32];
+    std::snprintf(prob, sizeof prob, "%.2e", risk.loss_probability);
+    t.add_row({spec.label(), c56::TextTable::fmt(risk.window_hours, 2),
+               std::to_string(risk.tolerated), prob,
+               c56::ana::window_risk_rating(spec)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf(
+      "\nvia-RAID-0 runs its whole window with zero fault tolerance; the "
+      "direct routes keep\nsingle-failure protection, and Code 5-6 never "
+      "touches the old parities at all.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Survey every conversion route the paper analyzes: for each (code,
+// approach) pair print the full Section V-A metric set side by side --
+// a one-screen recap of Figures 9-17.
+//
+//   $ ./conversion_survey [p]
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+
+int main() {
+  using c56::mig::ConversionCosts;
+  for (bool lb : {false, true}) {
+    std::cout << "=== Conversion survey ("
+              << (lb ? "with" : "without") << " load balancing) ===\n\n";
+    c56::TextTable t({"conversion", "invalid", "migrate", "new parity",
+                      "extra space", "XORs", "writes", "total I/O",
+                      "time/B*Te"});
+    for (const auto& spec : c56::ana::figure_conversion_set(lb)) {
+      const ConversionCosts c = c56::mig::analyze(spec);
+      t.add_row({spec.label(), c56::TextTable::pct(c.invalid_parity_ratio),
+                 c56::TextTable::pct(c.parity_migration_ratio),
+                 c56::TextTable::pct(c.new_parity_generation_ratio),
+                 c56::TextTable::pct(c.extra_space_ratio),
+                 c56::TextTable::fmt(c.xor_per_block, 2),
+                 c56::TextTable::fmt(c.write_io, 2),
+                 c56::TextTable::fmt(c.total_io, 2),
+                 c56::TextTable::fmt(c.time, 3)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "time/B*Te: conversion time normalized by B block-access "
+               "times; lower is better.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Online RAID-5 -> RAID-6 migration with a live application workload
+// (Algorithm 2 end to end).
+//
+//   $ ./online_migration [p] [groups]
+//
+// Builds a left-asymmetric RAID-5 over p-1 in-memory disks, starts the
+// Code 5-6 conversion thread, hammers the array with concurrent reads
+// and writes from an application thread while it runs, then verifies
+// every stripe of the resulting RAID-6 and finally demonstrates a
+// double-disk recovery on the migrated array.
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "layout/raid.hpp"
+#include "migration/online.hpp"
+#include "util/rng.hpp"
+#include "xorblk/xor.hpp"
+
+using namespace c56;
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::int64_t groups = argc > 2 ? std::atoll(argv[2]) : 512;
+  const int m = p - 1;
+  constexpr std::size_t kBlock = 1024;
+
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+
+  // Lay out the source RAID-5: random data, horizontal parity per row.
+  Rng rng(7);
+  std::vector<std::uint8_t> block(kBlock), parity(kBlock);
+  const std::int64_t rows = array.blocks_per_disk();
+  for (std::int64_t row = 0; row < rows; ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = raid5_parity_disk(Raid5Flavor::kLeftAsymmetric,
+                                        static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), kBlock);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      xor_into(parity.data(), block.data(), kBlock);
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
+  std::printf("source RAID-5: %d disks x %lld blocks (%zu B blocks)\n", m,
+              static_cast<long long>(rows), kBlock);
+
+  mig::OnlineMigrator migrator(array, p);
+  // Keep an application-visible model of the logical blocks we touch.
+  const std::int64_t logical = migrator.logical_blocks();
+  migrator.start();
+
+  std::uint64_t app_writes = 0, app_reads = 0;
+  {
+    Rng app(42);
+    std::vector<std::uint8_t> buf(kBlock);
+    while (migrator.converting()) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(app.next_below(
+              static_cast<std::uint64_t>(logical)));
+      if (app.next_below(3) == 0) {
+        app.fill(buf.data(), kBlock);
+        migrator.write_block(target, buf);
+        ++app_writes;
+      } else {
+        migrator.read_block(target, buf);
+        ++app_reads;
+      }
+    }
+  }
+  migrator.finish();
+
+  const mig::OnlineStats stats = migrator.stats();
+  std::printf("conversion done: %lld groups\n",
+              static_cast<long long>(migrator.groups_done()));
+  std::printf("  converter I/O: %llu reads, %llu writes\n",
+              static_cast<unsigned long long>(stats.conv_reads),
+              static_cast<unsigned long long>(stats.conv_writes));
+  std::printf("  application:   %llu reads, %llu writes issued "
+              "(%llu preempted the converter)\n",
+              static_cast<unsigned long long>(app_reads),
+              static_cast<unsigned long long>(app_writes),
+              static_cast<unsigned long long>(stats.interruptions));
+
+  const bool ok = migrator.verify_raid6();
+  std::printf("RAID-6 verification after concurrent workload: %s\n",
+              ok ? "PASS" : "FAIL");
+  if (!ok) return 1;
+
+  // Bonus: the migrated array now tolerates a double disk failure.
+  const Code56& code = migrator.code();
+  Buffer stripe(static_cast<std::size_t>(code.cell_count()) * kBlock);
+  StripeView v = StripeView::over(stripe, p - 1, p, kBlock);
+  for (int r = 0; r <= p - 2; ++r) {
+    for (int c = 0; c <= p - 1; ++c) {
+      std::ranges::copy(array.raw_block(c, r), v.block({r, c}).begin());
+    }
+  }
+  const Buffer before = stripe;
+  Rng junk(3);
+  for (int c : {0, 2}) {
+    for (int r = 0; r <= p - 2; ++r) junk.fill(v.block({r, c}).data(), kBlock);
+  }
+  const std::vector<int> failed{0, 2};
+  const auto dec = code.decode_columns(v, failed);
+  std::printf("double failure (disks 0,2) on stripe 0: %s\n",
+              dec && stripe == before ? "recovered" : "FAILED");
+  return dec && stripe == before ? 0 : 1;
+}

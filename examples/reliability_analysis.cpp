@@ -1,0 +1,45 @@
+// Why migrate at all? Reproduces the paper's motivation (Section I,
+// Table I): as drives age, annualized failure rates jump ~5x, and a
+// RAID-5's mean time to data loss collapses. This example feeds the
+// paper's AFR-by-age table through the Markov MTTDL model and compares
+// staying on RAID-5 with migrating to a Code 5-6 RAID-6.
+//
+//   $ ./reliability_analysis [disks] [repair_hours]
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/reliability.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const int disks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double repair_hours = argc > 2 ? std::atof(argv[2]) : 24.0;
+
+  std::printf(
+      "MTTDL of a %d-disk array (repair time %.0f h), AFRs from Table I\n\n",
+      disks, repair_hours);
+  c56::TextTable t({"drive age", "AFR", "RAID-5 MTTDL (yr)",
+                    "RAID-6 MTTDL (yr)", "gain"});
+  for (const auto& row : c56::ana::paper_afr_table()) {
+    const double r5 =
+        c56::ana::raid5_mttdl_hours(disks, row.afr, repair_hours) / 8760.0;
+    const double r6 =
+        c56::ana::raid6_mttdl_hours(disks + 1, row.afr, repair_hours) /
+        8760.0;
+    t.add_row({std::to_string(row.years) + "y",
+               c56::TextTable::pct(row.afr), c56::TextTable::fmt(r5, 0),
+               c56::TextTable::fmt(r6, 0),
+               c56::TextTable::fmt(r6 / r5, 0) + "x"});
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf(
+      "\nA year-2 array is ~5x more failure-prone than a year-1 array "
+      "(Table I);\nconverting RAID-5 to RAID-6 buys back orders of "
+      "magnitude of MTTDL,\nwhich is the migration Code 5-6 makes cheap "
+      "and online.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Section IV-B2 walkthrough: converting a RAID-5 of *any* size with
+// virtual disks. Reproduces the paper's Fig. 8 (m=3 -> p=5, one virtual
+// disk), prints the layout with NULL cells, converts through the
+// block-level controller, and reports the Eq. 6 storage-efficiency
+// penalty.
+//
+//   $ ./virtual_disks [m]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "codes/code56.hpp"
+#include "migration/controller.hpp"
+#include "util/rng.hpp"
+
+using namespace c56;
+
+namespace {
+
+const char* glyph(const Code56& code, Cell c) {
+  switch (code.kind(c)) {
+    case CellKind::kData: return " . ";
+    case CellKind::kRowParity: return " H ";
+    case CellKind::kDiagParity: return " D ";
+    case CellKind::kVirtual: return " - ";
+    default: return " ? ";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int m = argc > 1 ? std::atoi(argv[1]) : 3;
+  const Code56 code = Code56::for_raid5(m);
+  std::printf("RAID-5 of m=%d disks -> %s: p=%d, %d virtual disk(s), "
+              "physical RAID-6 of %d disks\n\n",
+              m, code.name().c_str(), code.p(), code.virtual_disks(),
+              m + 1);
+
+  std::printf("layout ('-' = virtual/NULL, H/D = parities):\n");
+  for (int r = 0; r < code.rows(); ++r) {
+    std::printf("  ");
+    for (int c = 0; c < code.cols(); ++c) std::fputs(glyph(code, {r, c}), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("\nstorage efficiency (Eq. 6): %d data / %d stored = %.1f%% "
+              "(ideal MDS RAID-6 over %d disks: %.1f%%, gap %.2f pp)\n",
+              code.data_cell_count(), code.physical_cells_per_stripe(),
+              code.storage_efficiency() * 100, m + 1,
+              code.ideal_raid6_efficiency() * 100,
+              (code.ideal_raid6_efficiency() - code.storage_efficiency()) *
+                  100);
+
+  // Exercise the layout end to end through the controller.
+  constexpr std::size_t kBlock = 1024;
+  const std::int64_t stripes = 64;
+  mig::DiskArray array(m + 1, stripes * code.rows(), kBlock);
+  mig::ArrayController ctrl(array,
+                            std::make_unique<Code56>(code.p(),
+                                                     code.virtual_disks()));
+  Rng rng(m);
+  Buffer buf(kBlock), got(kBlock);
+  std::map<std::int64_t, Buffer> model;
+  for (std::int64_t l = 0; l < ctrl.logical_blocks(); ++l) {
+    rng.fill(buf.data(), kBlock);
+    model[l] = buf;
+    ctrl.write(l, buf.span());
+  }
+  std::printf("\nwrote %lld logical blocks; scrub -> %s\n",
+              static_cast<long long>(ctrl.logical_blocks()),
+              ctrl.scrub().empty() ? "clean" : "CORRUPT");
+
+  ctrl.fail_disk(0);
+  ctrl.fail_disk(m);  // the added diagonal-parity disk
+  bool ok = true;
+  for (const auto& [l, want] : model) {
+    ctrl.read(l, got.span());
+    ok = ok && got == want;
+  }
+  std::printf("double failure (disk 0 and the new disk %d): degraded reads "
+              "-> %s\n", m, ok ? "all correct" : "MISMATCH");
+  ctrl.rebuild_disk(0);
+  ctrl.rebuild_disk(m);
+  std::printf("rebuild both -> scrub %s\n",
+              ctrl.scrub().empty() ? "clean" : "CORRUPT");
+  return ok && ctrl.scrub().empty() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "analysis/reliability.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace c56::ana {
+
+const std::vector<AfrByAge>& paper_afr_table() {
+  // Table I: AFRs by age group, aggregated from [48][39][2][49][53].
+  static const std::vector<AfrByAge> table{
+      {1, 0.017}, {2, 0.081}, {3, 0.086}, {4, 0.058}, {5, 0.072},
+  };
+  return table;
+}
+
+double lambda_per_hour(double afr) { return afr / 8760.0; }
+
+double mttdl_hours(int n, int tolerated, double lambda, double mu) {
+  if (n <= 0 || tolerated < 0 || tolerated >= n || lambda <= 0.0) {
+    throw std::invalid_argument("mttdl_hours: bad parameters");
+  }
+  // First-step analysis: T_k = expected time to absorption from k
+  // failed disks, T_{f+1} = 0.
+  //   T_k = 1/r_k + (up_k/r_k) T_{k+1} + (down_k/r_k) T_{k-1}
+  // with up_k = (n-k) lambda, down_k = k>0 ? mu : 0, r_k = up_k+down_k.
+  // Solve the tridiagonal system by backward elimination: express
+  // T_k = a_k + b_k * T_{k-1} starting from k = f down to 0 is awkward;
+  // instead eliminate forward: T_k = alpha_k + beta_k T_{k+1}.
+  const int f = tolerated;
+  std::vector<double> alpha(static_cast<std::size_t>(f) + 1);
+  std::vector<double> beta(static_cast<std::size_t>(f) + 1);
+  // k = 0: T_0 = 1/(n lambda) + T_1.
+  alpha[0] = 1.0 / (n * lambda);
+  beta[0] = 1.0;
+  for (int k = 1; k <= f; ++k) {
+    const double up = (n - k) * lambda;
+    const double down = mu;
+    const double r = up + down;
+    // T_k = 1/r + (up/r) T_{k+1} + (down/r) T_{k-1}
+    //     = 1/r + (up/r) T_{k+1} + (down/r)(alpha_{k-1} + beta_{k-1} T_k)
+    const double denom = 1.0 - (down / r) * beta[static_cast<std::size_t>(k - 1)];
+    alpha[static_cast<std::size_t>(k)] =
+        (1.0 / r + (down / r) * alpha[static_cast<std::size_t>(k - 1)]) /
+        denom;
+    beta[static_cast<std::size_t>(k)] = (up / r) / denom;
+  }
+  // T_{f+1} = 0, so T_f = alpha_f; then walk back to T_0.
+  double t = alpha[static_cast<std::size_t>(f)];
+  for (int k = f - 1; k >= 0; --k) {
+    t = alpha[static_cast<std::size_t>(k)] +
+        beta[static_cast<std::size_t>(k)] * t;
+  }
+  return t;
+}
+
+double raid5_mttdl_hours(int n, double afr, double repair_hours) {
+  return mttdl_hours(n, 1, lambda_per_hour(afr), 1.0 / repair_hours);
+}
+
+double raid6_mttdl_hours(int n, double afr, double repair_hours) {
+  return mttdl_hours(n, 2, lambda_per_hour(afr), 1.0 / repair_hours);
+}
+
+}  // namespace c56::ana

@@ -1,0 +1,34 @@
+#pragma once
+// Markov reliability model backing the paper's motivation (Table I,
+// Table VI): mean time to data loss of an n-disk array tolerating f
+// concurrent disk failures, with exponential failure rate lambda per
+// disk and repair rate mu per failed disk.
+//
+// States 0..f count failed disks; state f+1 (data loss) is absorbing.
+// k -> k+1 at rate (n-k)*lambda, k -> 0 is modeled as single-step
+// repair k -> k-1 at rate mu. Expected absorption time from state 0 is
+// obtained by solving the small tridiagonal first-step system exactly.
+
+#include <vector>
+
+namespace c56::ana {
+
+/// Table I of the paper: average annualized failure rates by drive age.
+struct AfrByAge {
+  int years;
+  double afr;  // e.g. 0.081 for 8.1 %
+};
+const std::vector<AfrByAge>& paper_afr_table();
+
+/// Failure rate per hour from an annualized failure rate.
+double lambda_per_hour(double afr);
+
+/// MTTDL in hours of an n-disk array tolerating f failures.
+double mttdl_hours(int n, int tolerated, double lambda, double mu);
+
+/// Convenience: MTTDL of RAID-5 / Code 5-6 RAID-6 built from n disks,
+/// given AFR and mean repair time in hours.
+double raid5_mttdl_hours(int n, double afr, double repair_hours);
+double raid6_mttdl_hours(int n, double afr, double repair_hours);
+
+}  // namespace c56::ana

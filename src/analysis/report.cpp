@@ -1,0 +1,53 @@
+#include "analysis/report.hpp"
+
+#include "util/prime.hpp"
+
+namespace c56::ana {
+
+using mig::Approach;
+using mig::ConversionSpec;
+
+std::vector<ConversionSpec> figure_conversion_set(bool lb) {
+  std::vector<ConversionSpec> out;
+  for (CodeId code : {CodeId::kEvenOdd, CodeId::kRdp, CodeId::kHCode}) {
+    out.push_back(ConversionSpec::canonical(code, Approach::kViaRaid0, 5, lb));
+    out.push_back(ConversionSpec::canonical(code, Approach::kViaRaid4, 5, lb));
+  }
+  out.push_back(ConversionSpec::canonical(CodeId::kXCode, Approach::kDirect,
+                                          5, lb));
+  out.push_back(ConversionSpec::canonical(CodeId::kPCode, Approach::kDirect,
+                                          7, lb));
+  out.push_back(ConversionSpec::canonical(CodeId::kHdp, Approach::kDirect,
+                                          7, lb));
+  out.push_back(ConversionSpec::direct_code56(4, lb));
+  return out;
+}
+
+std::vector<ConversionSpec> family_sweep(CodeId code, Approach approach,
+                                         bool lb) {
+  std::vector<ConversionSpec> out;
+  for (int p : {5, 7, 11, 13, 17}) {
+    if (code == CodeId::kCode56) {
+      out.push_back(ConversionSpec::direct_code56(p - 1, lb));
+    } else {
+      out.push_back(ConversionSpec::canonical(code, approach, p, lb));
+    }
+  }
+  return out;
+}
+
+TextTable conversion_table(
+    const std::vector<ConversionSpec>& specs, const std::string& header,
+    const std::function<double(const mig::ConversionCosts&)>& metric,
+    bool as_percent) {
+  TextTable t({"conversion", header});
+  for (const ConversionSpec& spec : specs) {
+    const mig::ConversionCosts costs = mig::analyze(spec);
+    const double v = metric(costs);
+    t.add_row({spec.label(),
+               as_percent ? TextTable::pct(v) : TextTable::fmt(v)});
+  }
+  return t;
+}
+
+}  // namespace c56::ana

@@ -1,0 +1,36 @@
+#pragma once
+// Shared scaffolding for the figure/table benchmarks: the conversion
+// sets the paper compares in Figures 9-17, and helpers that turn a
+// metric into a printed table with one row per conversion.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "migration/cost_model.hpp"
+#include "util/table.hpp"
+
+namespace c56::ana {
+
+/// The cross-code comparison set of Figures 9-17: every (code,
+/// approach) combination at its proper disk counts (Section V-A:
+/// "to ensure fairness ... we select the proper layout of RAID-5 and
+/// the proper number of disks"). Horizontal codes appear with both
+/// two-step approaches at p = 5; vertical codes convert directly at
+/// the prime giving a comparable array size.
+std::vector<mig::ConversionSpec> figure_conversion_set(bool load_balanced);
+
+/// Sweep of a single code family over growing disk counts, for the
+/// "with increasing number of disks" trend curves of Figures 13-16.
+std::vector<mig::ConversionSpec> family_sweep(CodeId code,
+                                              mig::Approach approach,
+                                              bool load_balanced);
+
+/// One row per conversion; `metric` extracts the plotted value, printed
+/// as a percentage when `as_percent`.
+TextTable conversion_table(
+    const std::vector<mig::ConversionSpec>& specs, const std::string& header,
+    const std::function<double(const mig::ConversionCosts&)>& metric,
+    bool as_percent);
+
+}  // namespace c56::ana

@@ -1,0 +1,51 @@
+#include "analysis/risk.hpp"
+
+#include <cmath>
+
+#include "analysis/reliability.hpp"
+
+namespace c56::ana {
+
+int window_fault_tolerance(const mig::ConversionSpec& spec) {
+  // The via-RAID-0 route has a phase with no valid parity at all.
+  return spec.approach == mig::Approach::kViaRaid0 ? 0 : 1;
+}
+
+const char* window_risk_rating(const mig::ConversionSpec& spec) {
+  switch (spec.approach) {
+    case mig::Approach::kViaRaid0:
+      return "Low (no fault tolerance in RAID-0)";
+    case mig::Approach::kViaRaid4:
+      return "Medium (old parity blocks in flight)";
+    case mig::Approach::kDirect:
+      return spec.code == CodeId::kCode56
+                 ? "High (no risk on parity loss)"
+                 : "High (old parity retained until done)";
+  }
+  return "?";
+}
+
+WindowRisk conversion_window_risk(const mig::ConversionSpec& spec,
+                                  double total_data_blocks, double te_ms,
+                                  double afr) {
+  WindowRisk out;
+  const mig::ConversionCosts costs = mig::analyze(spec);
+  out.window_hours = costs.time * total_data_blocks * te_ms / 3.6e6;
+  out.tolerated = window_fault_tolerance(spec);
+  const int n = spec.n();
+  const double lt = lambda_per_hour(afr) * out.window_hours;  // per disk
+  // Poisson failures, no repair inside the window: loss iff more than
+  // `tolerated` disks die. P = 1 - sum_{k<=f} C(n,k) q^k (1-q)^(n-k)
+  // with q = 1 - exp(-lt).
+  const double q = 1.0 - std::exp(-lt);
+  double p_ok = 0.0;
+  double comb = 1.0;
+  for (int k = 0; k <= out.tolerated; ++k) {
+    if (k > 0) comb = comb * (n - k + 1) / k;
+    p_ok += comb * std::pow(q, k) * std::pow(1.0 - q, n - k);
+  }
+  out.loss_probability = 1.0 - p_ok;
+  return out;
+}
+
+}  // namespace c56::ana

@@ -1,0 +1,44 @@
+#pragma once
+// Conversion-window risk — Table VI of the paper, quantified.
+//
+// While a conversion runs, the array's fault tolerance is reduced:
+//   * via RAID-0: the degrade step destroys every old parity before any
+//     new parity exists — zero tolerance for the rest of the window
+//     ("Low" in Table VI);
+//   * via RAID-4: old parities survive but are in flight; one disk
+//     failure is survivable, with migration-consistency risk
+//     ("Medium");
+//   * direct conversions keep the old parities readable until the new
+//     ones exist — one failure is always survivable ("High"), and
+//     Code 5-6 additionally never rewrites or moves them ("no risk on
+//     parity loss").
+//
+// The window length follows from the cost model (time per B*Te); the
+// loss probability treats disk failures as Poisson with the given AFR.
+
+#include <string>
+
+#include "migration/cost_model.hpp"
+
+namespace c56::ana {
+
+/// Failures tolerated while the conversion window is open.
+int window_fault_tolerance(const mig::ConversionSpec& spec);
+
+/// Table VI's qualitative rating derived from the window tolerance and
+/// whether old parities are rewritten in flight.
+const char* window_risk_rating(const mig::ConversionSpec& spec);
+
+struct WindowRisk {
+  double window_hours = 0.0;       // conversion duration
+  int tolerated = 0;               // failures survivable inside it
+  double loss_probability = 0.0;   // P(data loss during the window)
+};
+
+/// Risk of converting an array of B data blocks with per-block access
+/// time te_ms, disks failing independently at the given AFR.
+WindowRisk conversion_window_risk(const mig::ConversionSpec& spec,
+                                  double total_data_blocks, double te_ms,
+                                  double afr);
+
+}  // namespace c56::ana

@@ -1,0 +1,113 @@
+#include "analysis/speedup.hpp"
+
+#include <algorithm>
+
+#include "util/prime.hpp"
+
+namespace c56::ana {
+
+using mig::Approach;
+using mig::ConversionSpec;
+
+namespace {
+
+/// Prime parameter that makes `code` span exactly n disks, if any.
+std::optional<int> prime_for_n(CodeId code, int n) {
+  int p = 0;
+  switch (code) {
+    case CodeId::kCode56: p = 0; break;  // handled separately
+    case CodeId::kRdp: p = n - 1; break;
+    case CodeId::kEvenOdd: p = n - 2; break;
+    case CodeId::kHCode: p = n - 1; break;
+    case CodeId::kXCode: p = n; break;
+    case CodeId::kPCode: p = n + 1; break;
+    case CodeId::kHdp: p = n + 1; break;
+  }
+  if (p < 5 || !is_prime(p)) return std::nullopt;
+  return p;
+}
+
+std::vector<Approach> applicable_approaches(CodeId code) {
+  if (is_horizontal_code(code)) {
+    return {Approach::kViaRaid0, Approach::kViaRaid4};
+  }
+  return {Approach::kDirect};
+}
+
+}  // namespace
+
+std::optional<BestConversion> best_conversion_for_n(CodeId code, int n,
+                                                    bool lb) {
+  if (code == CodeId::kCode56) {
+    const ConversionSpec spec = ConversionSpec::direct_code56(n - 1, lb);
+    return BestConversion{spec, mig::analyze(spec).time};
+  }
+  const auto p = prime_for_n(code, n);
+  if (!p) return std::nullopt;
+  std::optional<BestConversion> best;
+  for (Approach a : applicable_approaches(code)) {
+    const ConversionSpec spec = ConversionSpec::canonical(code, a, *p, lb);
+    const double t = mig::analyze(spec).time;
+    if (!best || t < best->time) best = BestConversion{spec, t};
+  }
+  return best;
+}
+
+std::vector<SpeedupEntry> table4(bool lb) {
+  std::vector<SpeedupEntry> out;
+  for (int n : {5, 6, 7}) {
+    const auto mine = best_conversion_for_n(CodeId::kCode56, n, lb);
+    for (CodeId other : all_code_ids()) {
+      if (other == CodeId::kCode56) continue;
+      const auto theirs = best_conversion_for_n(other, n, lb);
+      if (!theirs) continue;
+      SpeedupEntry e;
+      e.n = n;
+      e.other = other;
+      e.other_spec = theirs->spec;
+      e.speedup = theirs->time / mine->time;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+double simulate_conversion_ms(const ConversionSpec& spec,
+                              const mig::TraceParams& params,
+                              const sim::DiskParams& disk) {
+  const mig::ConversionPlanner planner(spec);
+  const sim::Trace trace = mig::make_conversion_trace(planner, params);
+  sim::ArraySimulator simulator(spec.n(), disk);
+  return simulator.run(trace).makespan_ms;
+}
+
+std::vector<SimSpeedupEntry> table5(int p, const mig::TraceParams& params,
+                                    const sim::DiskParams& disk) {
+  std::vector<SimSpeedupEntry> out;
+  const ConversionSpec mine = ConversionSpec::direct_code56(p - 1, true);
+  const double mine_ms = simulate_conversion_ms(mine, params, disk);
+  for (CodeId other :
+       {CodeId::kRdp, CodeId::kEvenOdd, CodeId::kHCode, CodeId::kXCode}) {
+    std::optional<ConversionSpec> best_spec;
+    double best_ms = 0.0;
+    for (Approach a : applicable_approaches(other)) {
+      const ConversionSpec spec = ConversionSpec::canonical(other, a, p, true);
+      const double ms = simulate_conversion_ms(spec, params, disk);
+      if (!best_spec || ms < best_ms) {
+        best_spec = spec;
+        best_ms = ms;
+      }
+    }
+    SimSpeedupEntry e;
+    e.p = p;
+    e.other = other;
+    e.other_spec = *best_spec;
+    e.other_ms = best_ms;
+    e.code56_ms = mine_ms;
+    e.speedup = best_ms / mine_ms;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace c56::ana

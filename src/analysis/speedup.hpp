@@ -1,0 +1,57 @@
+#pragma once
+// Speedup tables: Table IV (analytic conversion time, best approach per
+// code, matched array size n) and Table V (simulated conversion time,
+// matched prime p).
+
+#include <optional>
+#include <vector>
+
+#include "migration/cost_model.hpp"
+#include "migration/trace_gen.hpp"
+#include "sim/event_sim.hpp"
+
+namespace c56::ana {
+
+struct BestConversion {
+  mig::ConversionSpec spec;
+  double time = 0.0;  // per B*Te
+};
+
+/// Cheapest conversion (over applicable approaches) that turns a
+/// RAID-5 into an n-disk RAID-6 with `code`. Nullopt when no prime
+/// parameter yields that n.
+std::optional<BestConversion> best_conversion_for_n(CodeId code, int n,
+                                                    bool load_balanced);
+
+struct SpeedupEntry {
+  int n = 0;
+  CodeId other;
+  mig::ConversionSpec other_spec;
+  double speedup = 0.0;  // time(other) / time(Code 5-6), same n
+};
+
+/// Table IV: Code 5-6's speedup over every other code at n in
+/// {5, 6, 7}, with or without load balancing.
+std::vector<SpeedupEntry> table4(bool load_balanced);
+
+struct SimSpeedupEntry {
+  int p = 0;
+  CodeId other;
+  mig::ConversionSpec other_spec;
+  double other_ms = 0.0;
+  double code56_ms = 0.0;
+  double speedup = 0.0;
+};
+
+/// Table V / Fig. 19: simulated conversion makespans at matched prime
+/// p, load-balanced, for the horizontal codes' best approach and
+/// X-Code, against Code 5-6.
+std::vector<SimSpeedupEntry> table5(int p, const mig::TraceParams& params,
+                                    const sim::DiskParams& disk = {});
+
+/// Simulated makespan of one conversion.
+double simulate_conversion_ms(const mig::ConversionSpec& spec,
+                              const mig::TraceParams& params,
+                              const sim::DiskParams& disk = {});
+
+}  // namespace c56::ana

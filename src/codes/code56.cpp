@@ -1,0 +1,244 @@
+#include "codes/code56.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "codes/peeling.hpp"
+#include "util/prime.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+
+Code56::Code56(int p, int virtual_disks, Code56Orientation o)
+    : p_(p), v_(virtual_disks), orient_(o) {
+  if (!is_prime(p)) throw std::invalid_argument("Code56: p must be prime");
+  if (v_ < 0 || v_ > p - 3) {
+    throw std::invalid_argument("Code56: virtual disk count out of range");
+  }
+  if (v_ > 0 && orient_ != Code56Orientation::kLeft) {
+    throw std::invalid_argument(
+        "Code56: virtual disks defined for the left orientation only");
+  }
+}
+
+Code56 Code56::for_raid5(int m) {
+  if (m < 2) throw std::invalid_argument("Code56: RAID-5 needs >= 2 disks");
+  const int p = next_prime_above(m);
+  return Code56(p, p - m - 1);
+}
+
+std::string Code56::name() const {
+  std::string n = "Code5-6(p=" + std::to_string(p_);
+  if (v_ > 0) n += ",v=" + std::to_string(v_);
+  if (orient_ == Code56Orientation::kRight) n += ",right";
+  return n + ")";
+}
+
+bool Code56::virtual_col_sq(int j) const {
+  // Virtual disks are prepended as the leading columns (Fig. 8).
+  return j < v_;
+}
+
+CellKind Code56::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.col == p_ - 1) return CellKind::kDiagParity;
+  if (virtual_col_sq(c.col) || virtual_row(c.row)) return CellKind::kVirtual;
+  // Horizontal parity sits on the anti-diagonal of the leading square
+  // (mirrored to the main diagonal in the right orientation).
+  if (c.col == mcol(p_ - 2 - c.row)) return CellKind::kRowParity;
+  return CellKind::kData;
+}
+
+std::vector<ParityChain> Code56::build_chains() const {
+  std::vector<ParityChain> out;
+  // Horizontal chains (Eq. 1) for non-virtual rows.
+  for (int i = 0; i + v_ <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, mcol(p_ - 2 - i)};
+    for (int j = 0; j <= p_ - 2; ++j) {
+      const int col = mcol(j);
+      if (col == ch.parity.col || virtual_col_sq(col)) continue;
+      ch.inputs.push_back({i, col});
+    }
+    out.push_back(std::move(ch));
+  }
+  // Diagonal chains (Eq. 2): parity row i protects r + j == i-1 (mod p)
+  // in square coordinates (before mirroring).
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, p_ - 1};
+    for (int j = 0; j <= p_ - 2; ++j) {
+      if (j == i) continue;  // would hit the nonexistent row p-1
+      const int r = pmod(i - 1 - j, p_);
+      assert(r <= p_ - 2);
+      const Cell in{r, mcol(j)};
+      if (kind(in) == CellKind::kVirtual) continue;
+      assert(kind(in) == CellKind::kData);
+      ch.inputs.push_back(in);
+    }
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+int Code56::physical_cells_per_stripe() const {
+  return cell_count() - virtual_cell_count();
+}
+
+double Code56::storage_efficiency() const {
+  return static_cast<double>(data_cell_count()) / physical_cells_per_stripe();
+}
+
+double Code56::ideal_raid6_efficiency() const {
+  const int n = (p_ - 1 - v_) + 1;  // m physical RAID-5 disks + 1 added
+  return static_cast<double>(n - 2) / n;
+}
+
+bool Code56::matches_raid5_flavor(Raid5Flavor f) const {
+  const int m = p_ - 1 - v_;
+  for (int row = 0; row < rows() - v_; ++row) {
+    // RAID-5 disk k corresponds to square column v_ + k.
+    const int parity_col = v_ + raid5_parity_disk(f, row, m);
+    if (kind({row, parity_col}) != CellKind::kRowParity) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct RecoveryOption {
+  std::vector<int> sources;  // surviving flat cells XORed to restore it
+};
+
+}  // namespace
+
+DecodeStats Code56::recover_single_column_hybrid(StripeView s, int col) const {
+  assert(col >= 0 && col <= p_ - 2 && "hybrid recovery targets a square column");
+  // Collect, per lost cell, its candidate chains (1 for the horizontal
+  // parity cell, 2 for data cells).
+  std::vector<int> lost;
+  std::vector<std::vector<RecoveryOption>> options;
+  const auto& specs = chain_specs();
+  for (int r = 0; r < rows(); ++r) {
+    const Cell c{r, col};
+    if (kind(c) == CellKind::kVirtual) {
+      std::ranges::fill(s.block(c), std::uint8_t{0});
+      continue;
+    }
+    const int flat = flat_index(c, cols());
+    std::vector<RecoveryOption> opts;
+    for (const ChainSpec& spec : specs) {
+      if (std::ranges::find(spec.cells, flat) == spec.cells.end()) continue;
+      RecoveryOption o;
+      for (int cell : spec.cells) {
+        if (cell != flat) o.sources.push_back(cell);
+      }
+      opts.push_back(std::move(o));
+    }
+    assert(!opts.empty());
+    lost.push_back(flat);
+    options.push_back(std::move(opts));
+  }
+
+  const std::size_t k = lost.size();
+  auto union_size = [&](const std::vector<int>& choice) {
+    std::set<int> u;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto& src = options[i][static_cast<std::size_t>(choice[i])].sources;
+      u.insert(src.begin(), src.end());
+    }
+    return u.size();
+  };
+
+  std::vector<int> best(k, 0);
+  std::size_t best_reads = union_size(best);
+  auto consider = [&](const std::vector<int>& choice) {
+    const std::size_t reads = union_size(choice);
+    if (reads < best_reads) {
+      best_reads = reads;
+      best = choice;
+    }
+  };
+
+  if (k > 0 && p_ <= 13) {
+    // Exhaustive search over per-cell chain choices (<= 2^(p-2) states).
+    std::vector<int> choice(k, 0);
+    while (true) {
+      consider(choice);
+      std::size_t i = 0;
+      while (i < k) {
+        if (++choice[i] < static_cast<int>(options[i].size())) break;
+        choice[i] = 0;
+        ++i;
+      }
+      if (i == k) break;
+    }
+  } else {
+    // Balanced prefix splits: first t data cells (by row) via their
+    // second (diagonal) chain, the rest via the horizontal chain.
+    for (std::size_t t = 0; t <= k; ++t) {
+      std::vector<int> choice(k, 0);
+      std::size_t flipped = 0;
+      for (std::size_t i = 0; i < k && flipped < t; ++i) {
+        if (options[i].size() > 1) {
+          choice[i] = 1;
+          ++flipped;
+        }
+      }
+      consider(choice);
+    }
+  }
+
+  DecodeStats stats;
+  stats.cells_read = best_reads;
+  for (std::size_t i = 0; i < k; ++i) {
+    auto dst = s.block(lost[i]);
+    std::ranges::fill(dst, std::uint8_t{0});
+    for (int src : options[i][static_cast<std::size_t>(best[i])].sources) {
+      xor_into(dst, s.block(src));
+      ++stats.xor_ops;
+    }
+  }
+  return stats;
+}
+
+DecodeStats Code56::recover_single_column_plain(StripeView s, int col) const {
+  assert(col >= 0 && col <= p_ - 2);
+  DecodeStats stats;
+  std::set<int> reads;
+  const auto& all = chains();
+  for (int r = 0; r < rows(); ++r) {
+    const Cell c{r, col};
+    if (kind(c) == CellKind::kVirtual) {
+      std::ranges::fill(s.block(c), std::uint8_t{0});
+      continue;
+    }
+    // Use the horizontal chain of row r (every non-virtual cell of a
+    // square column belongs to exactly one).
+    const ParityChain* row_chain = nullptr;
+    for (const ParityChain& ch : all) {
+      if (ch.parity.col == p_ - 1) continue;
+      if (ch.parity.row == r) {
+        row_chain = &ch;
+        break;
+      }
+    }
+    assert(row_chain != nullptr);
+    auto dst = s.block(c);
+    std::ranges::fill(dst, std::uint8_t{0});
+    auto use = [&](Cell src) {
+      if (src == c) return;
+      xor_into(dst, s.block(src));
+      ++stats.xor_ops;
+      reads.insert(flat_index(src, cols()));
+    };
+    if (row_chain->parity != c) use(row_chain->parity);
+    for (Cell in : row_chain->inputs) use(in);
+  }
+  stats.cells_read = reads.size();
+  return stats;
+}
+
+}  // namespace c56

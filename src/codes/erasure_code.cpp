@@ -1,0 +1,220 @@
+#include "codes/erasure_code.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "codes/peeling.hpp"
+
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+
+const std::vector<ParityChain>& ErasureCode::chains() const {
+  if (chains_.empty()) {
+    chains_ = build_chains();
+    assert(!chains_.empty());
+  }
+  return chains_;
+}
+
+int ErasureCode::data_cell_count() const {
+  int n = 0;
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (kind({r, c}) == CellKind::kData) ++n;
+    }
+  }
+  return n;
+}
+
+int ErasureCode::parity_cell_count() const {
+  int n = 0;
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (is_parity(kind({r, c}))) ++n;
+    }
+  }
+  return n;
+}
+
+int ErasureCode::virtual_cell_count() const {
+  int n = 0;
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (kind({r, c}) == CellKind::kVirtual) ++n;
+    }
+  }
+  return n;
+}
+
+void ErasureCode::encode(StripeView s) const {
+  assert(s.rows() == rows() && s.cols() == cols());
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (kind({r, c}) == CellKind::kVirtual) {
+        std::ranges::fill(s.block({r, c}), std::uint8_t{0});
+      }
+    }
+  }
+  for (const ParityChain& ch : chains()) {
+    auto dst = s.block(ch.parity);
+    std::ranges::fill(dst, std::uint8_t{0});
+    for (Cell in : ch.inputs) xor_into(dst, s.block(in));
+  }
+}
+
+bool ErasureCode::verify(StripeView s) const {
+  Buffer acc(s.block_size());
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < cols(); ++c) {
+      if (kind({r, c}) == CellKind::kVirtual && !all_zero(s.block({r, c}))) {
+        return false;
+      }
+    }
+  }
+  for (const ParityChain& ch : chains()) {
+    acc.zero();
+    xor_into(acc.span(), s.block(ch.parity));
+    for (Cell in : ch.inputs) xor_into(acc.span(), s.block(in));
+    if (!all_zero(acc.span())) return false;
+  }
+  return true;
+}
+
+const std::vector<ChainSpec>& ErasureCode::chain_specs() const {
+  if (specs_.empty()) {
+    for (const ParityChain& ch : chains()) {
+      ChainSpec spec;
+      spec.cells.push_back(flat_index(ch.parity, cols()));
+      for (Cell in : ch.inputs) spec.cells.push_back(flat_index(in, cols()));
+      specs_.push_back(std::move(spec));
+    }
+  }
+  return specs_;
+}
+
+std::vector<int> ErasureCode::erased_cells_of_columns(
+    std::span<const int> failed_cols) const {
+  std::vector<int> erased;
+  for (int c : failed_cols) {
+    assert(c >= 0 && c < cols());
+    for (int r = 0; r < rows(); ++r) {
+      if (kind({r, c}) != CellKind::kVirtual) {
+        erased.push_back(flat_index({r, c}, cols()));
+      }
+    }
+  }
+  return erased;
+}
+
+std::optional<std::vector<RecoveryRecipe>> ErasureCode::solve_cells(
+    std::span<const int> erased_flat) const {
+  return solve_erasures(cell_count(), chain_specs(), erased_flat);
+}
+
+DecodeStats ErasureCode::apply_recipes(
+    StripeView s, std::span<const RecoveryRecipe> recipes) {
+  DecodeStats stats;
+  std::set<int> distinct;
+  for (const RecoveryRecipe& rec : recipes) {
+    auto dst = s.block(rec.target);
+    std::ranges::fill(dst, std::uint8_t{0});
+    for (int src : rec.sources) {
+      xor_into(dst, s.block(src));
+      ++stats.xor_ops;
+      distinct.insert(src);
+    }
+  }
+  stats.cells_read = distinct.size();
+  return stats;
+}
+
+std::optional<DecodeStats> ErasureCode::decode_columns(
+    StripeView s, std::span<const int> failed_cols) const {
+  const std::vector<int> erased = erased_cells_of_columns(failed_cols);
+  std::optional<DecodeStats> stats = peel_decode(chain_specs(), s, erased);
+  if (!stats) return decode_columns_generic(s, failed_cols);
+  for (int c : failed_cols) {
+    for (int r = 0; r < rows(); ++r) {
+      if (kind({r, c}) == CellKind::kVirtual) {
+        std::ranges::fill(s.block({r, c}), std::uint8_t{0});
+      }
+    }
+  }
+  return stats;
+}
+
+std::optional<DecodeStats> ErasureCode::decode_columns_generic(
+    StripeView s, std::span<const int> failed_cols) const {
+  const std::vector<int> erased = erased_cells_of_columns(failed_cols);
+  auto recipes = solve_cells(erased);
+  if (!recipes) return std::nullopt;
+  // Recipes reference surviving cells only; erased blocks may hold
+  // garbage, so zero virtual cells of failed columns too.
+  for (int c : failed_cols) {
+    for (int r = 0; r < rows(); ++r) {
+      if (kind({r, c}) == CellKind::kVirtual) {
+        std::ranges::fill(s.block({r, c}), std::uint8_t{0});
+      }
+    }
+  }
+  return apply_recipes(s, *recipes);
+}
+
+bool ErasureCode::can_decode_columns(std::span<const int> failed_cols) const {
+  return solve_cells(erased_cells_of_columns(failed_cols)).has_value();
+}
+
+const std::vector<ParityChain>& ErasureCode::expanded_chains() const {
+  if (!expanded_.empty()) return expanded_;
+  // Map parity cell -> direct chain index for substitution.
+  std::map<int, int> chain_of_parity;
+  const auto& ch = chains();
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    chain_of_parity[flat_index(ch[i].parity, cols())] = static_cast<int>(i);
+  }
+  // Chains are in encode order, so expanding in order lets each chain
+  // reuse the already expanded form of earlier parities.
+  std::vector<std::vector<int>> flat_expanded(ch.size());
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    std::map<int, int> parity_count;  // data cell -> multiplicity
+    auto add = [&](int cell) { parity_count[cell] ^= 1; };
+    for (Cell in : ch[i].inputs) {
+      const int idx = flat_index(in, cols());
+      auto it = chain_of_parity.find(idx);
+      if (it == chain_of_parity.end()) {
+        add(idx);
+      } else {
+        assert(static_cast<std::size_t>(it->second) < i &&
+               "chain references a later parity; encode order broken");
+        for (int d : flat_expanded[static_cast<std::size_t>(it->second)]) {
+          add(d);
+        }
+      }
+    }
+    for (auto [cell, odd] : parity_count) {
+      if (odd) flat_expanded[i].push_back(cell);
+    }
+  }
+  expanded_.resize(ch.size());
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    expanded_[i].parity = ch[i].parity;
+    for (int d : flat_expanded[i]) {
+      expanded_[i].inputs.push_back(cell_of_index(d, cols()));
+    }
+  }
+  return expanded_;
+}
+
+int ErasureCode::update_complexity(Cell data_cell) const {
+  assert(kind(data_cell) == CellKind::kData);
+  int n = 0;
+  for (const ParityChain& ch : expanded_chains()) {
+    if (std::ranges::find(ch.inputs, data_cell) != ch.inputs.end()) ++n;
+  }
+  return n;
+}
+
+}  // namespace c56

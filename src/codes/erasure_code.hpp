@@ -1,0 +1,114 @@
+#pragma once
+// Common framework for XOR array codes.
+//
+// A code is fully described by its parity chains: for each parity cell,
+// the list of input cells whose XOR produces it. Chains are stored in
+// encode order (a chain may list earlier parities among its inputs, as
+// RDP's diagonals do with its row parities). From the chains the base
+// class derives everything generic: encoding, stripe verification, a
+// ground-truth decoder via GF(2) elimination, expanded (data-only)
+// chains for update-complexity analysis, and I/O accounting.
+//
+// Subclasses may override decode_columns() with the specialized
+// chain-walking algorithms from the papers; tests cross-check them
+// against the generic path.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf2/chain_solver.hpp"
+#include "layout/geometry.hpp"
+#include "layout/stripe.hpp"
+
+namespace c56 {
+
+struct ParityChain {
+  Cell parity;
+  std::vector<Cell> inputs;
+};
+
+struct DecodeStats {
+  std::size_t cells_read = 0;  // distinct surviving cells fetched
+  std::size_t xor_ops = 0;     // block XOR operations performed
+};
+
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  virtual std::string name() const = 0;
+  /// Prime parameter of the construction.
+  virtual int p() const = 0;
+  virtual int rows() const = 0;
+  virtual int cols() const = 0;
+  virtual CellKind kind(Cell c) const = 0;
+
+  /// Parity chains in encode order (cached after first call).
+  const std::vector<ParityChain>& chains() const;
+
+  int cell_count() const { return rows() * cols(); }
+  int data_cell_count() const;
+  int parity_cell_count() const;
+  int virtual_cell_count() const;
+
+  /// Compute every parity cell of the stripe from its data cells.
+  /// Virtual cells are forced to zero first.
+  void encode(StripeView s) const;
+
+  /// True iff every parity chain XORs to zero (and virtual cells are 0).
+  bool verify(StripeView s) const;
+
+  /// Recover the cells of the failed columns in place. The default
+  /// implementation runs the chain-peeling decoder (the shape of every
+  /// RDP-family reconstruction algorithm) and falls back to the generic
+  /// GF(2) solver for patterns peeling cannot order. Returns nullopt
+  /// when the pattern is undecodable, otherwise I/O statistics.
+  virtual std::optional<DecodeStats> decode_columns(
+      StripeView s, std::span<const int> failed_cols) const;
+
+  /// Force the generic GF(2) elimination path (ground truth; used by
+  /// tests and the decoder ablation benchmark).
+  std::optional<DecodeStats> decode_columns_generic(
+      StripeView s, std::span<const int> failed_cols) const;
+
+  /// Decodability check without touching data.
+  bool can_decode_columns(std::span<const int> failed_cols) const;
+
+  /// Recovery recipes for an arbitrary set of erased cells (virtual
+  /// cells must not be listed; they are known zero).
+  std::optional<std::vector<RecoveryRecipe>> solve_cells(
+      std::span<const int> erased_flat) const;
+
+  /// Erased flat cell indices when the given columns fail (virtual
+  /// cells excluded — nothing physical is lost there).
+  std::vector<int> erased_cells_of_columns(
+      std::span<const int> failed_cols) const;
+
+  /// Chains rewritten so every input is a data cell (parities
+  /// substituted recursively). Index-aligned with chains().
+  const std::vector<ParityChain>& expanded_chains() const;
+
+  /// Number of parity cells whose value depends on the given data cell;
+  /// the paper's "single write performance" metric (optimal = 2).
+  int update_complexity(Cell data_cell) const;
+
+  /// Apply recipes to a stripe (zero targets, then XOR sources).
+  static DecodeStats apply_recipes(StripeView s,
+                                   std::span<const RecoveryRecipe> recipes);
+
+  /// Chain specs in the flat index space for the solver / peeler.
+  const std::vector<ChainSpec>& chain_specs() const;
+
+ protected:
+  virtual std::vector<ParityChain> build_chains() const = 0;
+
+ private:
+  mutable std::vector<ParityChain> chains_;
+  mutable std::vector<ParityChain> expanded_;
+  mutable std::vector<ChainSpec> specs_;
+};
+
+}  // namespace c56

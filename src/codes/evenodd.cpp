@@ -1,0 +1,175 @@
+#include "codes/evenodd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+
+EvenOdd::EvenOdd(int p) : p_(p) {
+  if (!is_prime(p) || p < 3) {
+    throw std::invalid_argument("EVENODD: p must be an odd prime");
+  }
+}
+
+CellKind EvenOdd::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.col == p_) return CellKind::kRowParity;
+  if (c.col == p_ + 1) return CellKind::kDiagParity;
+  return CellKind::kData;
+}
+
+std::vector<Cell> EvenOdd::s_cells() const {
+  std::vector<Cell> cells;
+  for (int j = 1; j <= p_ - 1; ++j) cells.push_back({p_ - 1 - j, j});
+  return cells;
+}
+
+std::vector<ParityChain> EvenOdd::build_chains() const {
+  std::vector<ParityChain> out;
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, p_};
+    for (int j = 0; j <= p_ - 1; ++j) ch.inputs.push_back({i, j});
+    out.push_back(std::move(ch));
+  }
+  const std::vector<Cell> s = s_cells();
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, p_ + 1};
+    for (int j = 0; j <= p_ - 1; ++j) {
+      const int r = pmod(i - j, p_);
+      if (r == p_ - 1) continue;
+      ch.inputs.push_back({r, j});
+    }
+    ch.inputs.insert(ch.inputs.end(), s.begin(), s.end());
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+std::optional<DecodeStats> EvenOdd::decode_columns(
+    StripeView s, std::span<const int> failed_cols) const {
+  // Specialize the canonical case: exactly two failed data columns.
+  std::vector<int> cols_sorted(failed_cols.begin(), failed_cols.end());
+  std::sort(cols_sorted.begin(), cols_sorted.end());
+  const bool two_data = cols_sorted.size() == 2 && cols_sorted[1] <= p_ - 1;
+  if (!two_data) return ErasureCode::decode_columns(s, failed_cols);
+  const int f1 = cols_sorted[0];
+  const int f2 = cols_sorted[1];
+
+  DecodeStats stats;
+  std::set<int> reads;
+  const std::size_t bs = s.block_size();
+
+  // Adjuster: S = XOR(row parities) ^ XOR(diagonal parities). (XOR of
+  // all row chains gives XOR of all data; XOR of all diagonal chains
+  // gives XOR of all data ^ S because p-1 copies of S cancel pairwise.)
+  Buffer adjuster(bs);
+  for (int i = 0; i <= p_ - 2; ++i) {
+    xor_into(adjuster.span(), s.block({i, p_}));
+    xor_into(adjuster.span(), s.block({i, p_ + 1}));
+    reads.insert(flat_index({i, p_}, cols()));
+    reads.insert(flat_index({i, p_ + 1}, cols()));
+    stats.xor_ops += 2;
+  }
+
+  // Syndromes. row_syn[r] = XOR of the two lost cells of row r;
+  // diag_syn[d] = XOR of the lost cells on diagonal d (diagonals are
+  // S-adjusted so they become pure XOR relations).
+  std::vector<Buffer> row_syn(static_cast<std::size_t>(p_ - 1));
+  std::vector<Buffer> diag_syn(static_cast<std::size_t>(p_ - 1));
+  for (int r = 0; r <= p_ - 2; ++r) {
+    row_syn[static_cast<std::size_t>(r)] = Buffer(bs);
+    auto dst = row_syn[static_cast<std::size_t>(r)].span();
+    xor_into(dst, s.block({r, p_}));
+    ++stats.xor_ops;
+    for (int j = 0; j <= p_ - 1; ++j) {
+      if (j == f1 || j == f2) continue;
+      xor_into(dst, s.block({r, j}));
+      reads.insert(flat_index({r, j}, cols()));
+      ++stats.xor_ops;
+    }
+  }
+  for (int d = 0; d <= p_ - 2; ++d) {
+    diag_syn[static_cast<std::size_t>(d)] = Buffer(bs);
+    auto dst = diag_syn[static_cast<std::size_t>(d)].span();
+    xor_into(dst, s.block({d, p_ + 1}));
+    xor_into(dst, adjuster.span());
+    stats.xor_ops += 2;
+    for (int j = 0; j <= p_ - 1; ++j) {
+      const int r = pmod(d - j, p_);
+      if (r == p_ - 1 || j == f1 || j == f2) continue;
+      xor_into(dst, s.block({r, j}));
+      reads.insert(flat_index({r, j}, cols()));
+      ++stats.xor_ops;
+    }
+  }
+
+  // Zigzag, starting from the diagonal that misses column f2 (it has a
+  // single lost cell, in column f1), exactly as in the EVENODD paper.
+  // Lost cells on the adjuster diagonal p-1 have no diagonal syndrome
+  // and are reached via their row partner.
+  std::vector<char> recovered(static_cast<std::size_t>(p_ - 1) * 2, 0);
+  auto rec_flag = [&](int r, bool second) -> char& {
+    return recovered[static_cast<std::size_t>(r) * 2 + (second ? 1 : 0)];
+  };
+  int remaining = 2 * (p_ - 1);
+  auto recover_from_diag = [&](int d, int col) {
+    const int r = pmod(d - col, p_);
+    assert(r <= p_ - 2);
+    auto dst = s.block({r, col});
+    std::ranges::copy(diag_syn[static_cast<std::size_t>(d)].span(),
+                      dst.begin());
+    rec_flag(r, col == f2) = 1;
+    --remaining;
+    // The partner (same row, other column) is now row-recoverable.
+    const int other = col == f1 ? f2 : f1;
+    assert(!rec_flag(r, other == f2) && "recovery chains must be disjoint");
+    auto odst = s.block({r, other});
+    xor_to(odst.data(), row_syn[static_cast<std::size_t>(r)].data(),
+           dst.data(), bs);
+    ++stats.xor_ops;
+    rec_flag(r, other == f2) = 1;
+    --remaining;
+    // Fold both into the diagonals passing through them for the next hop.
+    for (int c : {col, other}) {
+      const int d2 = pmod(r + c, p_);
+      if (d2 <= p_ - 2) {
+        xor_into(diag_syn[static_cast<std::size_t>(d2)].span(), s.block({r, c}));
+        ++stats.xor_ops;
+      }
+    }
+    return r;
+  };
+
+  // Walk chain 1: diagonals that miss f2 then alternate; walk chain 2
+  // symmetric. A simple worklist formulation covers both chains.
+  std::vector<std::pair<int, int>> work;  // (diagonal, lost column)
+  // When f1 == 0 the diagonal missing column f1 is the adjuster
+  // diagonal p-1, which has no parity: the traversal is then a single
+  // chain started from the other end.
+  if (const int d = pmod(f2 - 1, p_); d <= p_ - 2) work.push_back({d, f1});
+  if (const int d = pmod(f1 - 1, p_); d <= p_ - 2) work.push_back({d, f2});
+  while (!work.empty() && remaining > 0) {
+    auto [d, col] = work.back();
+    work.pop_back();
+    const int r = pmod(d - col, p_);
+    if (r == p_ - 1 || rec_flag(r, col == f2)) continue;
+    const int row = recover_from_diag(d, col);
+    const int other = col == f1 ? f2 : f1;
+    // Next hop: the diagonal through (row, other) meets the *other*
+    // failed column again further along the chain.
+    const int d2 = pmod(row + other, p_);
+    if (d2 <= p_ - 2) work.push_back({d2, col});
+  }
+  if (remaining != 0) return ErasureCode::decode_columns(s, failed_cols);
+  stats.cells_read = reads.size();
+  return stats;
+}
+
+}  // namespace c56

@@ -1,0 +1,45 @@
+#pragma once
+// EVENODD (Blaum, Brady, Bruck, Menon — IEEE ToC 1995).
+//
+// Stripe: (p-1) rows x (p+2) columns. Columns 0..p-1 hold data, column
+// p the row parity, column p+1 the diagonal parity. Diagonal parity i
+// equals S xor (cells of diagonal r + j == i (mod p)), where the
+// adjuster S is the XOR of the cells on diagonal p-1. In the chain
+// representation the S cells are simply appended to every diagonal
+// chain (a pure-XOR relation, so the generic machinery applies
+// unchanged).
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class EvenOdd final : public ErasureCode {
+ public:
+  explicit EvenOdd(int p);
+
+  std::string name() const override {
+    return "EVENODD(p=" + std::to_string(p_) + ")";
+  }
+  int p() const override { return p_; }
+  int rows() const override { return p_ - 1; }
+  int cols() const override { return p_ + 2; }
+  CellKind kind(Cell c) const override;
+
+  /// Specialized decode for the two-data-column case: recompute the
+  /// adjuster S from the surviving parity columns, strip it from the
+  /// diagonal parities, then peel the pure row/diagonal system — the
+  /// classical EVENODD reconstruction. Other patterns use the generic
+  /// solver.
+  std::optional<DecodeStats> decode_columns(
+      StripeView s, std::span<const int> failed_cols) const override;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  std::vector<Cell> s_cells() const;  // the adjuster diagonal p-1
+
+  int p_;
+};
+
+}  // namespace c56

@@ -1,0 +1,55 @@
+#include "codes/hcode.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+HCode::HCode(int p) : p_(p) {
+  if (!is_prime(p) || p < 5) {
+    throw std::invalid_argument("H-Code: p must be a prime >= 5");
+  }
+}
+
+CellKind HCode::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.col == p_) return CellKind::kRowParity;
+  if (c.col == c.row + 1) return CellKind::kAntiDiagParity;
+  return CellKind::kData;
+}
+
+std::vector<ParityChain> HCode::build_chains() const {
+  std::vector<ParityChain> out;
+  // Horizontal chains first (encode order; anti-diagonal chains contain
+  // data cells only, but keeping rows first mirrors the paper).
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, p_};
+    for (int j = 0; j <= p_ - 1; ++j) {
+      if (j == i + 1) continue;  // the anti-diagonal parity of this row
+      ch.inputs.push_back({i, j});
+    }
+    out.push_back(std::move(ch));
+  }
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, i + 1};
+    // Anti-diagonal class j - r == i + 2 (mod p). Classes j - r == 1 are
+    // exactly the parity positions themselves, so the p-1 chains cover
+    // every data cell exactly once. j == i+1 would land on row p-1.
+    for (int j = 0; j <= p_ - 1; ++j) {
+      if (j == i + 1) continue;
+      const int r = pmod(j - i - 2, p_);
+      assert(r <= p_ - 2);
+      const Cell in{r, j};
+      assert(kind(in) == CellKind::kData);
+      ch.inputs.push_back(in);
+    }
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+}  // namespace c56

@@ -1,0 +1,39 @@
+#pragma once
+// H-Code (Wu, He, Wu, Wan — IPDPS 2011).
+//
+// Hybrid MDS code over p+1 disks, p prime. Stripe: (p-1) rows x (p+1)
+// columns. Column p holds horizontal parities; the anti-diagonal parity
+// of index i sits *inside* the data columns at cell (i, i+1):
+//   horizontal:    C[i][p]   = XOR_j C[i][j],          j != i+1
+//   anti-diagonal: C[i][i+1] = XOR_j C[<j-i-2> mod p][j], j != i+1
+// i.e. parity (i, i+1) protects the diagonal class j - r == i+2 (mod p);
+// class j - r == 1 consists exactly of the parity cells themselves, so
+// the p-1 chains cover every data cell once (optimal update
+// complexity). The dedicated horizontal column is what makes H-Code's
+// best conversion source a right-flavored RAID-5 (Section V-A of the
+// Code 5-6 paper).
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class HCode final : public ErasureCode {
+ public:
+  explicit HCode(int p);
+
+  std::string name() const override {
+    return "H-Code(p=" + std::to_string(p_) + ")";
+  }
+  int p() const override { return p_; }
+  int rows() const override { return p_ - 1; }
+  int cols() const override { return p_ + 1; }
+  CellKind kind(Cell c) const override;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  int p_;
+};
+
+}  // namespace c56

@@ -1,0 +1,58 @@
+#include "codes/hdp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+Hdp::Hdp(int p) : p_(p) {
+  if (!is_prime(p) || p < 5) {
+    throw std::invalid_argument("HDP: p must be a prime >= 5");
+  }
+}
+
+CellKind Hdp::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.col == c.row) return CellKind::kRowParity;
+  if (c.col == p_ - 2 - c.row) return CellKind::kAntiDiagParity;
+  return CellKind::kData;
+}
+
+std::vector<ParityChain> Hdp::build_chains() const {
+  std::vector<ParityChain> out;
+  // Anti-diagonal chains first: parity (i, p-2-i) protects the class
+  // r - j == 2i+2 (mod p). The class r - j == 0 is exactly the
+  // horizontal-diagonal parity cells, so these chains touch data only.
+  // (This is the unique MDS assignment for this parity geometry; see
+  // tools/hdp_search.cpp.)
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, p_ - 2 - i};
+    const int cls = pmod(2 * i + 2, p_);
+    for (int j = 0; j <= p_ - 2; ++j) {
+      const int r = pmod(cls + j, p_);
+      if (r > p_ - 2) continue;              // outside the stripe
+      const Cell in{r, j};
+      if (in == ch.parity) continue;
+      assert(kind(in) == CellKind::kData);
+      ch.inputs.push_back(in);
+    }
+    out.push_back(std::move(ch));
+  }
+  // Horizontal-diagonal chains: the full row, anti-diagonal parity
+  // included, closes to zero.
+  for (int i = 0; i <= p_ - 2; ++i) {
+    ParityChain ch;
+    ch.parity = {i, i};
+    for (int j = 0; j <= p_ - 2; ++j) {
+      if (j == i) continue;
+      ch.inputs.push_back({i, j});
+    }
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+}  // namespace c56

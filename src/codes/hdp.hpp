@@ -1,0 +1,37 @@
+#pragma once
+// HDP — Horizontal-Diagonal Parity code (Wu, Wan, He, Du — DSN 2011).
+//
+// MDS code over p-1 disks, p prime. Stripe: (p-1) x (p-1). The
+// anti-diagonal parity of index i sits at (i, p-2-i) and protects the
+// diagonal class r - j == 2i+2 (mod p); the class r - j == 0 is exactly
+// the main diagonal, where the horizontal-diagonal parities live, so
+// anti-diagonal chains touch data cells only and encode first. The
+// horizontal-diagonal parity of row i sits at (i, i) and closes the
+// whole row (anti-diagonal parity included). Both parity kinds live
+// inside the square — the layout trait that gives HDP its I/O load
+// balancing and makes conversion require reserved in-place space.
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class Hdp final : public ErasureCode {
+ public:
+  explicit Hdp(int p);
+
+  std::string name() const override {
+    return "HDP(p=" + std::to_string(p_) + ")";
+  }
+  int p() const override { return p_; }
+  int rows() const override { return p_ - 1; }
+  int cols() const override { return p_ - 1; }
+  CellKind kind(Cell c) const override;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  int p_;
+};
+
+}  // namespace c56

@@ -1,0 +1,60 @@
+#include "codes/pcode.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+PCode::PCode(int p) : p_(p) {
+  if (!is_prime(p) || p < 5) {
+    throw std::invalid_argument("P-Code: p must be a prime >= 5");
+  }
+}
+
+CellKind PCode::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  // Vertical parity, one per disk, in row 0. It is neither a horizontal
+  // nor a plain diagonal parity; we classify it as diagonal for the
+  // purposes of conversion accounting (not reusable from RAID-5).
+  return c.row == 0 ? CellKind::kDiagParity : CellKind::kData;
+}
+
+std::vector<std::pair<int, int>> PCode::column_labels(int label) const {
+  // Pairs {a, b} with a + b == 2*label (mod p), a < b, both in [1, p-1].
+  std::vector<std::pair<int, int>> out;
+  for (int a = 1; a <= p_ - 1; ++a) {
+    const int b = pmod(2 * label - a, p_);
+    if (b == 0 || b <= a) continue;
+    out.push_back({a, b});
+  }
+  assert(static_cast<int>(out.size()) == (p_ - 3) / 2);
+  return out;
+}
+
+std::pair<int, int> PCode::label_of(Cell c) const {
+  assert(kind(c) == CellKind::kData);
+  return column_labels(c.col + 1)[static_cast<std::size_t>(c.row - 1)];
+}
+
+std::vector<ParityChain> PCode::build_chains() const {
+  std::vector<ParityChain> out;
+  for (int label = 1; label <= p_ - 1; ++label) {
+    ParityChain ch;
+    ch.parity = {0, label - 1};
+    // Every data element whose label set contains `label`.
+    for (int col_label = 1; col_label <= p_ - 1; ++col_label) {
+      const auto labels = column_labels(col_label);
+      for (std::size_t k = 0; k < labels.size(); ++k) {
+        if (labels[k].first == label || labels[k].second == label) {
+          ch.inputs.push_back({static_cast<int>(k) + 1, col_label - 1});
+        }
+      }
+    }
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+}  // namespace c56

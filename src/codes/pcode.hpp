@@ -1,0 +1,41 @@
+#pragma once
+// P-Code (Jin, Jiang, Feng, Tian — ICS 2009).
+//
+// Vertical MDS code over p-1 disks, p prime. Columns carry labels
+// 1..p-1. Row 0 of every column holds that column's parity. Each data
+// element carries a two-integer label {a, b} (1 <= a < b <= p-1,
+// a + b != 0 mod p) and lives in the column whose label c satisfies
+// a + b == 2c (mod p); the parity of column c is the XOR of every data
+// element whose label contains c. Each column stores (p-3)/2 data
+// elements, so a stripe is (p-1)/2 rows x (p-1) columns.
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class PCode final : public ErasureCode {
+ public:
+  explicit PCode(int p);
+
+  std::string name() const override {
+    return "P-Code(p=" + std::to_string(p_) + ")";
+  }
+  int p() const override { return p_; }
+  int rows() const override { return (p_ - 1) / 2; }
+  int cols() const override { return p_ - 1; }
+  CellKind kind(Cell c) const override;
+
+  /// Label {a, b} of a data cell (row >= 1).
+  std::pair<int, int> label_of(Cell c) const;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  /// Data cells of column with label c (sorted by smaller label member).
+  std::vector<std::pair<int, int>> column_labels(int label) const;
+
+  int p_;
+};
+
+}  // namespace c56

@@ -1,0 +1,74 @@
+#include "codes/peeling.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+
+std::optional<DecodeStats> peel_decode(std::span<const ChainSpec> chains,
+                                       StripeView s,
+                                       std::span<const int> erased_flat) {
+  const int num_cells = s.rows() * s.cols();
+  std::vector<char> unknown(static_cast<std::size_t>(num_cells), 0);
+  for (int e : erased_flat) unknown[static_cast<std::size_t>(e)] = 1;
+  std::size_t remaining = erased_flat.size();
+  if (remaining == 0) return DecodeStats{};
+
+  // Incidence: cell -> chains containing it; per-chain unknown count.
+  std::vector<std::vector<int>> chains_of_cell(
+      static_cast<std::size_t>(num_cells));
+  std::vector<int> unknown_count(chains.size(), 0);
+  for (std::size_t q = 0; q < chains.size(); ++q) {
+    for (int cell : chains[q].cells) {
+      chains_of_cell[static_cast<std::size_t>(cell)].push_back(
+          static_cast<int>(q));
+      if (unknown[static_cast<std::size_t>(cell)]) ++unknown_count[q];
+    }
+  }
+
+  std::vector<int> ready;
+  for (std::size_t q = 0; q < chains.size(); ++q) {
+    if (unknown_count[q] == 1) ready.push_back(static_cast<int>(q));
+  }
+
+  DecodeStats stats;
+  std::set<int> reads;  // distinct surviving cells fetched
+  std::vector<char> was_erased(unknown.begin(), unknown.end());
+
+  while (!ready.empty() && remaining > 0) {
+    const int q = ready.back();
+    ready.pop_back();
+    if (unknown_count[static_cast<std::size_t>(q)] != 1) continue;
+    int target = -1;
+    for (int cell : chains[static_cast<std::size_t>(q)].cells) {
+      if (unknown[static_cast<std::size_t>(cell)]) {
+        target = cell;
+        break;
+      }
+    }
+    auto dst = s.block(target);
+    std::ranges::fill(dst, std::uint8_t{0});
+    for (int cell : chains[static_cast<std::size_t>(q)].cells) {
+      if (cell == target) continue;
+      xor_into(dst, s.block(cell));
+      ++stats.xor_ops;
+      if (!was_erased[static_cast<std::size_t>(cell)]) reads.insert(cell);
+    }
+    unknown[static_cast<std::size_t>(target)] = 0;
+    --remaining;
+    for (int q2 : chains_of_cell[static_cast<std::size_t>(target)]) {
+      if (--unknown_count[static_cast<std::size_t>(q2)] == 1) {
+        ready.push_back(q2);
+      }
+    }
+  }
+
+  if (remaining > 0) return std::nullopt;
+  stats.cells_read = reads.size();
+  return stats;
+}
+
+}  // namespace c56

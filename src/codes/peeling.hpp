@@ -1,0 +1,30 @@
+#pragma once
+// Chain-peeling decoder.
+//
+// The reconstruction algorithms of the RDP-family papers (Algorithm 1 of
+// the Code 5-6 paper, the recovery-chain procedures of RDP and X-Code)
+// all share one shape: repeatedly find a parity chain with exactly one
+// missing member, recover that member, and continue until every lost
+// cell is restored. This file implements that shape once, over the
+// generic chain representation, with faithful I/O accounting (distinct
+// surviving blocks read, block XORs performed).
+//
+// Peeling succeeds exactly when the papers' recovery-chain arguments
+// apply; for patterns it cannot order (e.g. EVENODD's S-adjusted
+// diagonals, or >2 failures) callers fall back to the GF(2) solver.
+
+#include <optional>
+#include <span>
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+/// Recover the erased cells of `s` in place by chain peeling. Returns
+/// nullopt (stripe unmodified except possibly some recovered cells) when
+/// peeling stalls before completion.
+std::optional<DecodeStats> peel_decode(std::span<const ChainSpec> chains,
+                                       StripeView s,
+                                       std::span<const int> erased_flat);
+
+}  // namespace c56

@@ -1,0 +1,42 @@
+#include "codes/rdp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+Rdp::Rdp(int p) : p_(p) {
+  if (!is_prime(p)) throw std::invalid_argument("RDP: p must be prime");
+}
+
+CellKind Rdp::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.col == p_ - 1) return CellKind::kRowParity;
+  if (c.col == p_) return CellKind::kDiagParity;
+  return CellKind::kData;
+}
+
+std::vector<ParityChain> Rdp::build_chains() const {
+  std::vector<ParityChain> out;
+  for (int i = 0; i <= p_ - 2; ++i) {  // row parity first (encode order)
+    ParityChain ch;
+    ch.parity = {i, p_ - 1};
+    for (int j = 0; j <= p_ - 2; ++j) ch.inputs.push_back({i, j});
+    out.push_back(std::move(ch));
+  }
+  for (int i = 0; i <= p_ - 2; ++i) {  // diagonal d = i
+    ParityChain ch;
+    ch.parity = {i, p_};
+    for (int j = 0; j <= p_ - 1; ++j) {
+      const int r = pmod(i - j, p_);
+      if (r == p_ - 1) continue;  // diagonal passes outside the stripe
+      ch.inputs.push_back({r, j});
+    }
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+}  // namespace c56

@@ -1,0 +1,31 @@
+#pragma once
+// RDP — Row-Diagonal Parity (Corbett et al., FAST'04).
+//
+// Stripe: (p-1) rows x (p+1) columns, p prime. Columns 0..p-2 hold
+// data, column p-1 the row parity, column p the diagonal parity.
+// Diagonal d (= parity row index) collects the cells with
+// r + j == d (mod p) over columns 0..p-1 — including the row-parity
+// column — and diagonal p-1 is left unprotected.
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class Rdp final : public ErasureCode {
+ public:
+  explicit Rdp(int p);
+
+  std::string name() const override { return "RDP(p=" + std::to_string(p_) + ")"; }
+  int p() const override { return p_; }
+  int rows() const override { return p_ - 1; }
+  int cols() const override { return p_ + 1; }
+  CellKind kind(Cell c) const override;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  int p_;
+};
+
+}  // namespace c56

@@ -1,0 +1,84 @@
+#include "codes/registry.hpp"
+
+#include <stdexcept>
+
+#include "codes/code56.hpp"
+#include "codes/evenodd.hpp"
+#include "codes/hcode.hpp"
+#include "codes/hdp.hpp"
+#include "codes/pcode.hpp"
+#include "codes/rdp.hpp"
+#include "codes/xcode.hpp"
+
+namespace c56 {
+
+const char* to_string(CodeId id) noexcept {
+  switch (id) {
+    case CodeId::kCode56: return "Code 5-6";
+    case CodeId::kRdp: return "RDP";
+    case CodeId::kEvenOdd: return "EVENODD";
+    case CodeId::kXCode: return "X-Code";
+    case CodeId::kPCode: return "P-Code";
+    case CodeId::kHCode: return "H-Code";
+    case CodeId::kHdp: return "HDP";
+  }
+  return "?";
+}
+
+std::vector<CodeId> all_code_ids() {
+  return {CodeId::kEvenOdd, CodeId::kRdp,   CodeId::kHCode, CodeId::kXCode,
+          CodeId::kPCode,   CodeId::kHdp,   CodeId::kCode56};
+}
+
+std::unique_ptr<ErasureCode> make_code(CodeId id, int p) {
+  switch (id) {
+    case CodeId::kCode56: return std::make_unique<Code56>(p);
+    case CodeId::kRdp: return std::make_unique<Rdp>(p);
+    case CodeId::kEvenOdd: return std::make_unique<EvenOdd>(p);
+    case CodeId::kXCode: return std::make_unique<XCode>(p);
+    case CodeId::kPCode: return std::make_unique<PCode>(p);
+    case CodeId::kHCode: return std::make_unique<HCode>(p);
+    case CodeId::kHdp: return std::make_unique<Hdp>(p);
+  }
+  throw std::invalid_argument("unknown CodeId");
+}
+
+int disks_of(CodeId id, int p) {
+  switch (id) {
+    case CodeId::kCode56: return p;
+    case CodeId::kRdp: return p + 1;
+    case CodeId::kEvenOdd: return p + 2;
+    case CodeId::kXCode: return p;
+    case CodeId::kPCode: return p - 1;
+    case CodeId::kHCode: return p + 1;
+    case CodeId::kHdp: return p - 1;
+  }
+  throw std::invalid_argument("unknown CodeId");
+}
+
+int disks_added_by_conversion(CodeId id) {
+  switch (id) {
+    case CodeId::kCode56: return 1;  // the dedicated diagonal column
+    case CodeId::kRdp:
+    case CodeId::kEvenOdd:
+    case CodeId::kHCode: return 2;   // row parity disk + diagonal disk
+    case CodeId::kXCode:
+    case CodeId::kPCode:
+    case CodeId::kHdp: return 0;     // vertical: parity in reserved space
+  }
+  throw std::invalid_argument("unknown CodeId");
+}
+
+bool reuses_raid5_parity(CodeId id) {
+  // Code 5-6 inherits the RAID-5 parity as its horizontal parity
+  // (Section III-A); HDP's horizontal-diagonal parity matches a
+  // right-symmetric RAID-5 rotation, so direct conversion keeps it too.
+  return id == CodeId::kCode56 || id == CodeId::kHdp;
+}
+
+bool is_horizontal_code(CodeId id) {
+  return id == CodeId::kRdp || id == CodeId::kEvenOdd ||
+         id == CodeId::kHCode;
+}
+
+}  // namespace c56

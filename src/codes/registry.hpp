@@ -1,0 +1,48 @@
+#pragma once
+// Factory and metadata for the code zoo. The conversion analysis of
+// Section V iterates over {EVENODD, RDP, H-Code, X-Code, P-Code, HDP,
+// Code 5-6}; this registry gives it a uniform way to instantiate a code
+// by (id, p) and to query structural traits the cost model needs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+enum class CodeId {
+  kCode56,
+  kRdp,
+  kEvenOdd,
+  kXCode,
+  kPCode,
+  kHCode,
+  kHdp,
+};
+
+const char* to_string(CodeId id) noexcept;
+
+/// All ids, in the order the paper's figures list them.
+std::vector<CodeId> all_code_ids();
+
+/// Instantiate code `id` with prime parameter p.
+std::unique_ptr<ErasureCode> make_code(CodeId id, int p);
+
+/// Total disks (columns) of code `id` at prime p.
+int disks_of(CodeId id, int p);
+
+/// Number of disks the conversion adds on top of the source RAID-5
+/// (codes whose stripe has the same column count as the source add 0).
+int disks_added_by_conversion(CodeId id);
+
+/// True iff the code has a RAID-5-compatible horizontal parity, i.e.
+/// the source RAID-5 parity blocks survive the direct conversion.
+bool reuses_raid5_parity(CodeId id);
+
+/// True iff the code is horizontal (row parity on dedicated disks),
+/// making the RAID-5 -> RAID-4 -> RAID-6 route applicable.
+bool is_horizontal_code(CodeId id);
+
+}  // namespace c56

@@ -1,0 +1,40 @@
+#include "codes/xcode.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+XCode::XCode(int p) : p_(p) {
+  if (!is_prime(p) || p < 5) {
+    throw std::invalid_argument("X-Code: p must be a prime >= 5");
+  }
+}
+
+CellKind XCode::kind(Cell c) const {
+  assert(c.row >= 0 && c.row < rows() && c.col >= 0 && c.col < cols());
+  if (c.row == p_ - 2) return CellKind::kDiagParity;
+  if (c.row == p_ - 1) return CellKind::kAntiDiagParity;
+  return CellKind::kData;
+}
+
+std::vector<ParityChain> XCode::build_chains() const {
+  std::vector<ParityChain> out;
+  for (int i = 0; i < p_; ++i) {
+    ParityChain ch;
+    ch.parity = {p_ - 2, i};
+    for (int k = 0; k <= p_ - 3; ++k) ch.inputs.push_back({k, pmod(i + k + 2, p_)});
+    out.push_back(std::move(ch));
+  }
+  for (int i = 0; i < p_; ++i) {
+    ParityChain ch;
+    ch.parity = {p_ - 1, i};
+    for (int k = 0; k <= p_ - 3; ++k) ch.inputs.push_back({k, pmod(i - k - 2, p_)});
+    out.push_back(std::move(ch));
+  }
+  return out;
+}
+
+}  // namespace c56

@@ -1,0 +1,35 @@
+#pragma once
+// X-Code (Xu & Bruck — IEEE Trans. Information Theory 1999).
+//
+// Vertical MDS code over p disks, p prime. Stripe: p rows x p columns;
+// rows 0..p-3 hold data, row p-2 holds diagonal parities, row p-1 holds
+// anti-diagonal parities:
+//   C[p-2][i] = XOR_k C[k][(i + k + 2) mod p],  k in [0, p-3]
+//   C[p-1][i] = XOR_k C[k][(i - k - 2) mod p]
+// Each parity chain covers the slope +1 / -1 diagonal through its
+// column, skipping the two parity rows.
+
+#include "codes/erasure_code.hpp"
+
+namespace c56 {
+
+class XCode final : public ErasureCode {
+ public:
+  explicit XCode(int p);
+
+  std::string name() const override {
+    return "X-Code(p=" + std::to_string(p_) + ")";
+  }
+  int p() const override { return p_; }
+  int rows() const override { return p_; }
+  int cols() const override { return p_; }
+  CellKind kind(Cell c) const override;
+
+ protected:
+  std::vector<ParityChain> build_chains() const override;
+
+ private:
+  int p_;
+};
+
+}  // namespace c56

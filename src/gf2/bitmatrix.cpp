@@ -1,0 +1,76 @@
+#include "gf2/bitmatrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace c56 {
+
+BitMatrix::BitMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64),
+      bits_(static_cast<std::size_t>(rows) * words_per_row_, 0) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+bool BitMatrix::get(int r, int c) const noexcept {
+  return (bits_[static_cast<std::size_t>(r) * words_per_row_ + c / 64] >>
+          (c % 64)) & 1u;
+}
+
+void BitMatrix::set(int r, int c, bool v) noexcept {
+  auto& w = bits_[static_cast<std::size_t>(r) * words_per_row_ + c / 64];
+  const std::uint64_t mask = 1ULL << (c % 64);
+  if (v) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+void BitMatrix::flip(int r, int c) noexcept {
+  bits_[static_cast<std::size_t>(r) * words_per_row_ + c / 64] ^=
+      1ULL << (c % 64);
+}
+
+void BitMatrix::xor_rows(int r, int s) noexcept {
+  auto* dst = &bits_[static_cast<std::size_t>(r) * words_per_row_];
+  const auto* src = &bits_[static_cast<std::size_t>(s) * words_per_row_];
+  for (int w = 0; w < words_per_row_; ++w) dst[w] ^= src[w];
+}
+
+void BitMatrix::swap_rows(int r, int s) noexcept {
+  if (r == s) return;
+  auto* a = &bits_[static_cast<std::size_t>(r) * words_per_row_];
+  auto* b = &bits_[static_cast<std::size_t>(s) * words_per_row_];
+  for (int w = 0; w < words_per_row_; ++w) std::swap(a[w], b[w]);
+}
+
+bool BitMatrix::row_is_zero(int r) const noexcept {
+  const auto* p = &bits_[static_cast<std::size_t>(r) * words_per_row_];
+  for (int w = 0; w < words_per_row_; ++w) {
+    if (p[w] != 0) return false;
+  }
+  return true;
+}
+
+int BitMatrix::rank() const {
+  BitMatrix m(*this);
+  int rank = 0;
+  for (int c = 0; c < m.cols_ && rank < m.rows_; ++c) {
+    int pivot = -1;
+    for (int r = rank; r < m.rows_; ++r) {
+      if (m.get(r, c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    m.swap_rows(rank, pivot);
+    for (int r = 0; r < m.rows_; ++r) {
+      if (r != rank && m.get(r, c)) m.xor_rows(r, rank);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace c56

@@ -1,0 +1,35 @@
+#pragma once
+// Dense bit matrix over GF(2) with row operations, used by the generic
+// erasure solver. Rows are packed into 64-bit words.
+
+#include <cstdint>
+#include <vector>
+
+namespace c56 {
+
+class BitMatrix {
+ public:
+  BitMatrix(int rows, int cols);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+
+  bool get(int r, int c) const noexcept;
+  void set(int r, int c, bool v) noexcept;
+  void flip(int r, int c) noexcept;
+
+  /// row r ^= row s.
+  void xor_rows(int r, int s) noexcept;
+  void swap_rows(int r, int s) noexcept;
+
+  bool row_is_zero(int r) const noexcept;
+
+  /// Rank via Gaussian elimination on a copy.
+  int rank() const;
+
+ private:
+  int rows_, cols_, words_per_row_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace c56

@@ -1,0 +1,91 @@
+#include "gf2/chain_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf2/bitmatrix.hpp"
+
+namespace c56 {
+
+std::optional<std::vector<RecoveryRecipe>> solve_erasures(
+    int num_cells, std::span<const ChainSpec> chains,
+    std::span<const int> erased) {
+  const int k = static_cast<int>(erased.size());
+  if (k == 0) return std::vector<RecoveryRecipe>{};
+
+  std::vector<int> unknown_of_cell(static_cast<std::size_t>(num_cells), -1);
+  for (int i = 0; i < k; ++i) {
+    assert(erased[i] >= 0 && erased[i] < num_cells);
+    assert(unknown_of_cell[erased[i]] == -1 && "duplicate erased cell");
+    unknown_of_cell[erased[i]] = i;
+  }
+
+  const int m = static_cast<int>(chains.size());
+  // Augmented system [A | E]: A is the unknown-coefficient matrix, E
+  // tracks which original equations were combined into each row so that
+  // solved unknowns can be expressed as XORs of known cells.
+  BitMatrix a(m, k);
+  BitMatrix e(m, m);
+  for (int r = 0; r < m; ++r) {
+    e.set(r, r, true);
+    for (int cell : chains[r].cells) {
+      const int u = unknown_of_cell[cell];
+      if (u >= 0) a.flip(r, u);  // flip: a cell listed twice cancels
+    }
+  }
+
+  // Gauss-Jordan on A, mirroring row ops onto E.
+  std::vector<int> pivot_row_of_unknown(static_cast<std::size_t>(k), -1);
+  int rank = 0;
+  for (int c = 0; c < k && rank < m; ++c) {
+    int pivot = -1;
+    for (int r = rank; r < m; ++r) {
+      if (a.get(r, c)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    a.swap_rows(rank, pivot);
+    e.swap_rows(rank, pivot);
+    for (int r = 0; r < m; ++r) {
+      if (r != rank && a.get(r, c)) {
+        a.xor_rows(r, rank);
+        e.xor_rows(r, rank);
+      }
+    }
+    pivot_row_of_unknown[c] = rank;
+    ++rank;
+  }
+  for (int c = 0; c < k; ++c) {
+    if (pivot_row_of_unknown[c] < 0) return std::nullopt;  // underdetermined
+  }
+
+  // Row for unknown u now reads: x_u = XOR over combined equations of the
+  // known cells in those equations. Cells appearing an even number of
+  // times across the combined equations cancel.
+  std::vector<RecoveryRecipe> recipes(static_cast<std::size_t>(k));
+  std::vector<int> parity(static_cast<std::size_t>(num_cells), 0);
+  for (int u = 0; u < k; ++u) {
+    const int row = pivot_row_of_unknown[u];
+    std::vector<int> touched;
+    for (int q = 0; q < m; ++q) {
+      if (!e.get(row, q)) continue;
+      for (int cell : chains[q].cells) {
+        if (unknown_of_cell[cell] >= 0) continue;  // unknowns handled by A
+        if (parity[cell] == 0) touched.push_back(cell);
+        parity[cell] ^= 1;
+      }
+    }
+    RecoveryRecipe& rec = recipes[static_cast<std::size_t>(u)];
+    rec.target = erased[u];
+    for (int cell : touched) {
+      if (parity[cell]) rec.sources.push_back(cell);
+      parity[cell] = 0;
+    }
+    std::sort(rec.sources.begin(), rec.sources.end());
+  }
+  return recipes;
+}
+
+}  // namespace c56

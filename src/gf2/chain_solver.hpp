@@ -1,0 +1,42 @@
+#pragma once
+// Generic erasure solver for XOR array codes.
+//
+// Every code in this library is described by its parity chains: sets of
+// cell indices whose blocks XOR to zero (the parity element is a member
+// of its own chain). Given the chains and a set of erased cells, the
+// solver performs Gauss-Jordan elimination over GF(2) and emits, for
+// each erased cell, a *recovery recipe*: the list of surviving cells
+// whose XOR reproduces it. Recipes are data-independent, so they can be
+// cached, counted for I/O accounting, and applied with the xorblk
+// kernels.
+//
+// This is the ground-truth decoder used to (a) validate the specialized
+// chain-walking decoders and (b) numerically certify the MDS property of
+// each code (all single and double column erasures solvable).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace c56 {
+
+struct ChainSpec {
+  // Cell indices (in any flat numbering chosen by the caller) that XOR
+  // to zero. Order is irrelevant.
+  std::vector<int> cells;
+};
+
+struct RecoveryRecipe {
+  int target = -1;              // erased cell this recipe reconstructs
+  std::vector<int> sources;     // surviving cells to XOR together
+};
+
+/// Solve for the erased cells. Returns one recipe per erased cell (same
+/// order as `erased`) or nullopt when the erasure pattern is not
+/// decodable under the given chains. `num_cells` bounds the cell index
+/// space; `erased` must contain distinct valid indices.
+std::optional<std::vector<RecoveryRecipe>> solve_erasures(
+    int num_cells, std::span<const ChainSpec> chains,
+    std::span<const int> erased);
+
+}  // namespace c56

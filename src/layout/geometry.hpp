@@ -1,0 +1,39 @@
+#pragma once
+// Cell addressing shared by every array code. A stripe is a rows x cols
+// matrix of equally sized blocks; cell (r, c) lives on disk c. The flat
+// numbering r * cols + c is the index space used by parity chains and by
+// the generic solver.
+
+#include <compare>
+
+namespace c56 {
+
+struct Cell {
+  int row = 0;
+  int col = 0;
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+enum class CellKind {
+  kData,
+  kRowParity,       // horizontal parity (Eq. 1 of the paper)
+  kDiagParity,      // diagonal parity (Eq. 2)
+  kAntiDiagParity,  // anti-diagonal parity (X-Code, H-Code, HDP)
+  kVirtual,         // virtual element of Section IV-B2: logically zero,
+                    // not physically stored
+};
+
+constexpr bool is_parity(CellKind k) noexcept {
+  return k == CellKind::kRowParity || k == CellKind::kDiagParity ||
+         k == CellKind::kAntiDiagParity;
+}
+
+constexpr int flat_index(Cell c, int cols) noexcept {
+  return c.row * cols + c.col;
+}
+
+constexpr Cell cell_of_index(int idx, int cols) noexcept {
+  return {idx / cols, idx % cols};
+}
+
+}  // namespace c56

@@ -1,0 +1,56 @@
+#include "layout/raid.hpp"
+
+#include <cassert>
+
+#include "util/prime.hpp"
+
+namespace c56 {
+
+const char* to_string(Raid5Flavor f) noexcept {
+  switch (f) {
+    case Raid5Flavor::kLeftAsymmetric: return "left-asymmetric";
+    case Raid5Flavor::kLeftSymmetric: return "left-symmetric";
+    case Raid5Flavor::kRightAsymmetric: return "right-asymmetric";
+    case Raid5Flavor::kRightSymmetric: return "right-symmetric";
+  }
+  return "?";
+}
+
+int raid5_parity_disk(Raid5Flavor f, int row, int m) noexcept {
+  assert(m >= 2 && row >= 0);
+  switch (f) {
+    case Raid5Flavor::kLeftAsymmetric:
+    case Raid5Flavor::kLeftSymmetric:
+      return pmod(m - 1 - row, m);
+    case Raid5Flavor::kRightAsymmetric:
+    case Raid5Flavor::kRightSymmetric:
+      return pmod(row, m);
+  }
+  return 0;
+}
+
+int raid5_data_disk(Raid5Flavor f, int row, int k, int m) noexcept {
+  assert(k >= 0 && k < m - 1);
+  const int p = raid5_parity_disk(f, row, m);
+  switch (f) {
+    case Raid5Flavor::kLeftAsymmetric:
+    case Raid5Flavor::kRightAsymmetric:
+      // Data fills disks left to right, skipping the parity disk.
+      return k < p ? k : k + 1;
+    case Raid5Flavor::kLeftSymmetric:
+    case Raid5Flavor::kRightSymmetric:
+      // Data starts just after the parity disk and wraps.
+      return pmod(p + 1 + k, m);
+  }
+  return 0;
+}
+
+int raid0_data_disk(int row, int k, int m) noexcept {
+  (void)row;
+  assert(k >= 0 && k < m);
+  return k;
+}
+
+int raid4_parity_disk(int m) noexcept { return m - 1; }
+
+}  // namespace c56

@@ -1,0 +1,35 @@
+#pragma once
+// Classic RAID layouts used as conversion sources and intermediates.
+//
+// A RAID-5 of m disks stores, for each stripe row, m-1 data blocks plus
+// one parity block whose disk rotates with the stripe row according to
+// the flavor. The paper's default source is left-asymmetric (footnote 1);
+// H-Code's best conversion source is right-asymmetric (Section V-A).
+
+#include <cstdint>
+
+namespace c56 {
+
+enum class Raid5Flavor {
+  kLeftAsymmetric,   // parity walks right-to-left; data laid out l-to-r
+  kLeftSymmetric,    // same parity walk; data continues past the parity
+  kRightAsymmetric,  // parity walks left-to-right
+  kRightSymmetric,
+};
+
+const char* to_string(Raid5Flavor f) noexcept;
+
+/// Disk index holding the parity of stripe row `row` in an m-disk RAID-5.
+int raid5_parity_disk(Raid5Flavor f, int row, int m) noexcept;
+
+/// Disk index of the k-th data block (k in [0, m-2]) of stripe row `row`.
+int raid5_data_disk(Raid5Flavor f, int row, int k, int m) noexcept;
+
+/// Disk index of the k-th data block of stripe row `row` in an m-disk
+/// RAID-0 (trivial striping, no parity).
+int raid0_data_disk(int row, int k, int m) noexcept;
+
+/// RAID-4: dedicated parity on the last disk.
+int raid4_parity_disk(int m) noexcept;
+
+}  // namespace c56

@@ -1,0 +1,3 @@
+#include "layout/stripe.hpp"
+
+// StripeView is header-only; this translation unit anchors the library.

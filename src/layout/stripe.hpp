@@ -1,0 +1,52 @@
+#pragma once
+// StripeView: a non-owning rows x cols matrix of fixed-size blocks over a
+// contiguous byte range. All encode/decode routines operate on views so
+// callers choose the storage (a Buffer, a slice of a simulated disk
+// array, ...).
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "layout/geometry.hpp"
+#include "xorblk/buffer.hpp"
+
+namespace c56 {
+
+class StripeView {
+ public:
+  StripeView(std::span<std::uint8_t> bytes, int rows, int cols,
+             std::size_t block_size) noexcept
+      : bytes_(bytes), rows_(rows), cols_(cols), block_size_(block_size) {
+    assert(bytes.size() ==
+           static_cast<std::size_t>(rows) * cols * block_size);
+  }
+
+  /// View over a whole Buffer (must match rows*cols*block_size exactly).
+  static StripeView over(Buffer& buf, int rows, int cols,
+                         std::size_t block_size) noexcept {
+    return {buf.span(), rows, cols, block_size};
+  }
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+
+  std::span<std::uint8_t> block(Cell c) const noexcept {
+    assert(c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_);
+    return bytes_.subspan(
+        static_cast<std::size_t>(flat_index(c, cols_)) * block_size_,
+        block_size_);
+  }
+
+  std::span<std::uint8_t> block(int flat) const noexcept {
+    return block(cell_of_index(flat, cols_));
+  }
+
+ private:
+  std::span<std::uint8_t> bytes_;
+  int rows_, cols_;
+  std::size_t block_size_;
+};
+
+}  // namespace c56

@@ -1,0 +1,212 @@
+#include "migration/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "xorblk/xor.hpp"
+
+namespace c56::mig {
+
+ArrayController::ArrayController(DiskArray& array,
+                                 std::unique_ptr<ErasureCode> code)
+    : array_(array), code_(std::move(code)) {
+  virtual_cols_ = 0;
+  for (int c = 0; c < code_->cols(); ++c) {
+    bool all_virtual = true;
+    for (int r = 0; r < code_->rows(); ++r) {
+      if (code_->kind({r, c}) != CellKind::kVirtual) {
+        all_virtual = false;
+        break;
+      }
+    }
+    if (all_virtual) {
+      ++virtual_cols_;
+    } else {
+      break;  // virtual columns are the leading ones (Fig. 8)
+    }
+  }
+  if (array_.disks() != code_->cols() - virtual_cols_) {
+    throw std::invalid_argument(
+        "ArrayController: disk count must match physical columns");
+  }
+  if (array_.blocks_per_disk() % code_->rows() != 0) {
+    throw std::invalid_argument(
+        "ArrayController: blocks per disk must be a multiple of rows");
+  }
+  stripes_ = array_.blocks_per_disk() / code_->rows();
+  for (int r = 0; r < code_->rows(); ++r) {
+    for (int c = 0; c < code_->cols(); ++c) {
+      if (code_->kind({r, c}) == CellKind::kData) {
+        data_index_[{r, c}] = static_cast<int>(data_cells_.size());
+        data_cells_.push_back({r, c});
+      }
+    }
+  }
+  parities_of_.resize(data_cells_.size());
+  for (const ParityChain& ch : code_->expanded_chains()) {
+    for (Cell in : ch.inputs) {
+      auto it = data_index_.find({in.row, in.col});
+      assert(it != data_index_.end());
+      parities_of_[static_cast<std::size_t>(it->second)].push_back(ch.parity);
+    }
+  }
+}
+
+std::int64_t ArrayController::logical_blocks() const {
+  return stripes_ * static_cast<std::int64_t>(data_cells_.size());
+}
+
+ArrayController::Locus ArrayController::locate(std::int64_t logical) const {
+  assert(logical >= 0 && logical < logical_blocks());
+  const auto per_stripe = static_cast<std::int64_t>(data_cells_.size());
+  return {data_cells_[static_cast<std::size_t>(logical % per_stripe)],
+          logical / per_stripe};
+}
+
+bool ArrayController::cell_failed(Cell c) const {
+  if (code_->kind(c) == CellKind::kVirtual) return false;
+  return failed_.count(disk_of(c.col)) != 0;
+}
+
+const std::vector<RecoveryRecipe>& ArrayController::recipes() {
+  if (!recipes_valid_) {
+    std::vector<int> cols;
+    for (int d : failed_) cols.push_back(col_of(d));
+    auto solved = code_->solve_cells(code_->erased_cells_of_columns(cols));
+    if (!solved) {
+      throw std::runtime_error("failure pattern is not decodable");
+    }
+    recipes_ = std::move(*solved);
+    recipes_valid_ = true;
+  }
+  return recipes_;
+}
+
+void ArrayController::read_cell(std::int64_t stripe, Cell c,
+                                std::span<std::uint8_t> out) {
+  if (code_->kind(c) == CellKind::kVirtual) {
+    std::ranges::fill(out, std::uint8_t{0});
+    return;
+  }
+  if (cell_failed(c)) {
+    reconstruct_cell(stripe, c, out);
+  } else {
+    array_.read_block(disk_of(c.col), block_of(stripe, c.row), out);
+  }
+}
+
+void ArrayController::reconstruct_cell(std::int64_t stripe, Cell c,
+                                       std::span<std::uint8_t> out) {
+  const int flat = flat_index(c, code_->cols());
+  const RecoveryRecipe* recipe = nullptr;
+  for (const RecoveryRecipe& r : recipes()) {
+    if (r.target == flat) {
+      recipe = &r;
+      break;
+    }
+  }
+  assert(recipe != nullptr && "cell is not part of the failure set");
+  std::ranges::fill(out, std::uint8_t{0});
+  Buffer tmp(array_.block_bytes());
+  for (int src : recipe->sources) {
+    const Cell sc = cell_of_index(src, code_->cols());
+    assert(!cell_failed(sc));
+    array_.read_block(disk_of(sc.col), block_of(stripe, sc.row), tmp.span());
+    xor_into(out, tmp.span());
+  }
+}
+
+void ArrayController::read(std::int64_t logical, std::span<std::uint8_t> out) {
+  const Locus l = locate(logical);
+  read_cell(l.stripe, l.cell, out);
+}
+
+void ArrayController::write(std::int64_t logical,
+                            std::span<const std::uint8_t> in) {
+  const Locus l = locate(logical);
+  const std::size_t bs = array_.block_bytes();
+  Buffer old(bs), delta(bs), par(bs);
+  read_cell(l.stripe, l.cell, old.span());  // reconstructs when degraded
+  xor_to(delta.data(), old.data(), in.data(), bs);
+  if (all_zero(delta.span())) return;  // idempotent write, nothing to do
+
+  const int idx = data_index_.at({l.cell.row, l.cell.col});
+  for (Cell pc : parities_of_[static_cast<std::size_t>(idx)]) {
+    if (cell_failed(pc)) continue;  // regenerated at rebuild time
+    const int d = disk_of(pc.col);
+    const std::int64_t b = block_of(l.stripe, pc.row);
+    array_.read_block(d, b, par.span());
+    xor_into(par.span(), delta.span());
+    array_.write_block(d, b, par.span());
+  }
+  if (!cell_failed(l.cell)) {
+    array_.write_block(disk_of(l.cell.col), block_of(l.stripe, l.cell.row),
+                       in);
+  }
+}
+
+void ArrayController::fail_disk(int disk) {
+  if (disk < 0 || disk >= array_.disks()) {
+    throw std::out_of_range("fail_disk: no such disk");
+  }
+  if (failed_.count(disk)) return;
+  if (failed_count() >= 2) {
+    throw std::runtime_error("fail_disk: fault tolerance exceeded");
+  }
+  failed_.insert(disk);
+  recipes_valid_ = false;
+}
+
+bool ArrayController::failed(int disk) const {
+  return failed_.count(disk) != 0;
+}
+
+std::int64_t ArrayController::rebuild_disk(int disk) {
+  if (!failed_.count(disk)) {
+    throw std::invalid_argument("rebuild_disk: disk is not failed");
+  }
+  const int col = col_of(disk);
+  std::int64_t rebuilt = 0;
+  Buffer block(array_.block_bytes());
+  for (std::int64_t s = 0; s < stripes_; ++s) {
+    for (int r = 0; r < code_->rows(); ++r) {
+      const Cell c{r, col};
+      if (code_->kind(c) == CellKind::kVirtual) continue;
+      reconstruct_cell(s, c, block.span());
+      array_.write_block(disk, block_of(s, r), block.span());
+      ++rebuilt;
+    }
+  }
+  failed_.erase(disk);
+  recipes_valid_ = false;
+  return rebuilt;
+}
+
+Buffer ArrayController::read_stripe(std::int64_t stripe) const {
+  const std::size_t bs = array_.block_bytes();
+  Buffer buf(static_cast<std::size_t>(code_->cell_count()) * bs);
+  StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), bs);
+  for (int r = 0; r < code_->rows(); ++r) {
+    for (int c = 0; c < code_->cols(); ++c) {
+      if (code_->kind({r, c}) == CellKind::kVirtual) continue;
+      const auto src =
+          array_.raw_block(disk_of(c), block_of(stripe, r));
+      std::ranges::copy(src, v.block({r, c}).begin());
+    }
+  }
+  return buf;
+}
+
+std::vector<std::int64_t> ArrayController::scrub() {
+  std::vector<std::int64_t> bad;
+  const std::size_t bs = array_.block_bytes();
+  for (std::int64_t s = 0; s < stripes_; ++s) {
+    Buffer buf = read_stripe(s);
+    StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), bs);
+    if (!code_->verify(v)) bad.push_back(s);
+  }
+  return bad;
+}
+
+}  // namespace c56::mig

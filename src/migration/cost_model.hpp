@@ -1,0 +1,100 @@
+#pragma once
+// Closed-form conversion cost model — Section V-A of the paper.
+//
+// A conversion is described by (target code, approach, source disks m,
+// load balancing). Costs are derived from the actual chain layouts of
+// the target code, normalized per existing data block B and per B*Te
+// for time, exactly as the paper reports them:
+//
+//   * invalid parity ratio       (old parities NULLed)
+//   * old parity migration ratio (moved or modified old parities)
+//   * new parity generation ratio
+//   * extra space ratio          (pre-reserved fraction of each disk)
+//   * computation cost           (XORs / B)
+//   * write / read / total I/Os  (/ B)
+//   * conversion time            (/ B*Te); NLB = sum over sequential
+//     phases of the busiest disk's I/O count, LB = sum of total/n
+//
+// Hole accounting: approaches that invalidate or migrate the old
+// RAID-5 parities leave freed (NULL, zero) slots inside the data
+// region; reads and XORs against those slots are skipped, so data-cell
+// inputs on original disks are weighted by (m-1)/m and inputs landing
+// on freshly added disks by 0. Codes that reuse the RAID-5 parity
+// (Code 5-6, HDP) have no holes.
+
+#include <string>
+#include <vector>
+
+#include "codes/registry.hpp"
+
+namespace c56::mig {
+
+enum class Approach {
+  kViaRaid0,  // RAID-5 -> RAID-0 -> RAID-6
+  kViaRaid4,  // RAID-5 -> RAID-4 -> RAID-6
+  kDirect,    // RAID-5 -> RAID-6
+};
+
+const char* to_string(Approach a) noexcept;
+
+struct ConversionSpec {
+  CodeId code = CodeId::kCode56;
+  Approach approach = Approach::kDirect;
+  int p = 5;   // prime parameter of the target code
+  int m = 4;   // disks in the source RAID-5
+  bool load_balanced = false;
+
+  /// Disks after conversion (target stripe columns; for Code 5-6 with
+  /// virtual disks this is the count of physical columns).
+  int n() const;
+  /// Virtual disks (Code 5-6 only; 0 otherwise).
+  int virtual_disks() const;
+  /// Paper-style label, e.g. "RAID-5->RAID-6(Code 5-6,4,5)".
+  std::string label() const;
+
+  /// Default spec for a code: the canonical m for (code, approach, p).
+  static ConversionSpec canonical(CodeId code, Approach a, int p,
+                                  bool lb = false);
+  /// Direct Code 5-6 conversion of an m-disk RAID-5 (virtual disks as
+  /// needed).
+  static ConversionSpec direct_code56(int m, bool lb = false);
+
+  /// True iff (code, approach) is a meaningful combination.
+  bool valid() const;
+};
+
+struct PhaseCost {
+  std::string name;
+  std::vector<double> disk_reads;   // per B, indexed by target column
+  std::vector<double> disk_writes;  // per B
+  double xors = 0.0;                // per B
+
+  double reads() const;
+  double writes() const;
+  double total_io() const { return reads() + writes(); }
+  double time_nlb() const;             // busiest disk
+  double time_lb(int disks) const;     // perfectly balanced
+};
+
+struct ConversionCosts {
+  ConversionSpec spec;
+  double invalid_parity_ratio = 0.0;
+  double parity_migration_ratio = 0.0;  // migrated or modified
+  double new_parity_generation_ratio = 0.0;
+  double extra_space_ratio = 0.0;
+  double xor_per_block = 0.0;
+  double read_io = 0.0;
+  double write_io = 0.0;
+  double total_io = 0.0;
+  double time = 0.0;  // honors spec.load_balanced
+  std::vector<PhaseCost> phases;
+};
+
+/// Analyze a conversion. Throws std::invalid_argument for invalid specs.
+ConversionCosts analyze(const ConversionSpec& spec);
+
+/// Existing data blocks per target stripe for this spec (the
+/// normalization unit; exposed for tests and the trace generator).
+double data_blocks_per_stripe(const ConversionSpec& spec);
+
+}  // namespace c56::mig

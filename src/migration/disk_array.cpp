@@ -1,0 +1,81 @@
+#include "migration/disk_array.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace c56::mig {
+
+DiskArray::DiskArray(int disks, std::int64_t blocks_per_disk,
+                     std::size_t block_bytes)
+    : blocks_per_disk_(blocks_per_disk), block_bytes_(block_bytes) {
+  if (disks <= 0 || blocks_per_disk <= 0 || block_bytes == 0) {
+    throw std::invalid_argument("DiskArray: invalid geometry");
+  }
+  for (int d = 0; d < disks; ++d) add_disk();
+}
+
+int DiskArray::add_disk() {
+  auto disk = std::make_unique<Disk>();
+  disk->data = Buffer(static_cast<std::size_t>(blocks_per_disk_) *
+                      block_bytes_);
+  disks_.push_back(std::move(disk));
+  return static_cast<int>(disks_.size()) - 1;
+}
+
+std::span<std::uint8_t> DiskArray::raw_block(int disk, std::int64_t block) {
+  assert(disk >= 0 && disk < disks());
+  assert(block >= 0 && block < blocks_per_disk_);
+  return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
+}
+
+std::span<const std::uint8_t> DiskArray::raw_block(
+    int disk, std::int64_t block) const {
+  assert(disk >= 0 && disk < disks());
+  assert(block >= 0 && block < blocks_per_disk_);
+  return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
+}
+
+void DiskArray::read_block(int disk, std::int64_t block,
+                           std::span<std::uint8_t> out) {
+  assert(out.size() == block_bytes_);
+  const auto src = raw_block(disk, block);
+  std::memcpy(out.data(), src.data(), block_bytes_);
+  disks_[static_cast<std::size_t>(disk)]->reads.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void DiskArray::write_block(int disk, std::int64_t block,
+                            std::span<const std::uint8_t> in) {
+  assert(in.size() == block_bytes_);
+  const auto dst = raw_block(disk, block);
+  std::memcpy(dst.data(), in.data(), block_bytes_);
+  disks_[static_cast<std::size_t>(disk)]->writes.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t DiskArray::reads(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->reads.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t DiskArray::writes(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->writes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t DiskArray::total_reads() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += reads(d);
+  return n;
+}
+
+std::uint64_t DiskArray::total_writes() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += writes(d);
+  return n;
+}
+
+}  // namespace c56::mig

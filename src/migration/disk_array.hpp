@@ -1,0 +1,53 @@
+#pragma once
+// In-memory block-device array: the substrate the online migrator
+// (Algorithm 2) runs against. Each disk is a flat vector of fixed-size
+// blocks; per-disk I/O counters let tests and examples account for the
+// traffic the conversion and the concurrent application generate.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xorblk/buffer.hpp"
+
+namespace c56::mig {
+
+class DiskArray {
+ public:
+  DiskArray(int disks, std::int64_t blocks_per_disk, std::size_t block_bytes);
+
+  int disks() const { return static_cast<int>(disks_.size()); }
+  std::int64_t blocks_per_disk() const { return blocks_per_disk_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  /// Append a zeroed disk (the "add a new disk" step of Algorithm 2).
+  int add_disk();
+
+  /// Raw access to a block's storage (no counter update).
+  std::span<std::uint8_t> raw_block(int disk, std::int64_t block);
+  std::span<const std::uint8_t> raw_block(int disk, std::int64_t block) const;
+
+  /// Counted accesses.
+  void read_block(int disk, std::int64_t block, std::span<std::uint8_t> out);
+  void write_block(int disk, std::int64_t block,
+                   std::span<const std::uint8_t> in);
+
+  std::uint64_t reads(int disk) const;
+  std::uint64_t writes(int disk) const;
+  std::uint64_t total_reads() const;
+  std::uint64_t total_writes() const;
+
+ private:
+  struct Disk {
+    Buffer data;
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+  };
+
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::int64_t blocks_per_disk_;
+  std::size_t block_bytes_;
+};
+
+}  // namespace c56::mig

@@ -1,0 +1,185 @@
+#include "migration/online.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "layout/raid.hpp"
+#include "util/prime.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56::mig {
+
+OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
+    : array_(array), code_(p), m_(p - 1) {
+  if (array.disks() != m_) {
+    throw std::invalid_argument(
+        "OnlineMigrator: array must hold p-1 disks (a full RAID-5)");
+  }
+  if (array.blocks_per_disk() % (p - 1) != 0) {
+    throw std::invalid_argument(
+        "OnlineMigrator: blocks per disk must be a multiple of p-1");
+  }
+  groups_ = array.blocks_per_disk() / (p - 1);
+}
+
+OnlineMigrator::~OnlineMigrator() {
+  if (worker_.joinable()) worker_.join();
+}
+
+std::int64_t OnlineMigrator::logical_blocks() const {
+  return array_.blocks_per_disk() * (m_ - 1);
+}
+
+OnlineMigrator::Locus OnlineMigrator::locate(std::int64_t logical) const {
+  assert(logical >= 0 && logical < logical_blocks());
+  const std::int64_t stripe_row = logical / (m_ - 1);
+  const int k = static_cast<int>(logical % (m_ - 1));
+  Locus l;
+  l.block = stripe_row;
+  l.row = static_cast<int>(stripe_row % (code_.p() - 1));
+  l.group = static_cast<int>(stripe_row / (code_.p() - 1));
+  l.disk = raid5_data_disk(Raid5Flavor::kLeftAsymmetric,
+                           static_cast<int>(stripe_row % m_), k, m_);
+  return l;
+}
+
+void OnlineMigrator::start() {
+  if (running_.exchange(true)) {
+    throw std::logic_error("OnlineMigrator: already started");
+  }
+  if (new_disk_ < 0) new_disk_ = array_.add_disk();  // Step 2
+  worker_ = std::thread([this] { conversion_loop(); });
+}
+
+void OnlineMigrator::finish() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
+  // Chain for diagonal parity row i (Eq. 2): data cells
+  // (<i-1-j> mod p, j), j != i.
+  const int p = code_.p();
+  Buffer acc(array_.block_bytes());
+  Buffer tmp(array_.block_bytes());
+  for (int j = 0; j <= p - 2; ++j) {
+    if (j == diag_row) continue;
+    const int r = pmod(diag_row - 1 - j, p);
+    array_.read_block(j, group * (p - 1) + r, tmp.span());
+    ++stats_.conv_reads;
+    xor_into(acc.span(), tmp.span());
+  }
+  array_.write_block(new_disk_, group * (p - 1) + diag_row, acc.span());
+  ++stats_.conv_writes;
+}
+
+void OnlineMigrator::conversion_loop() {
+  const int p = code_.p();
+  for (std::int64_t g = 0; g < groups_; ++g) {
+    for (int i = 0; i <= p - 2; ++i) {
+      std::unique_lock lk(mu_);
+      // A pending application write preempts the converter between
+      // parity blocks (Algorithm 2, "interrupt the conversion thread").
+      cv_.wait(lk, [this] { return pending_writers_.load() == 0; });
+      generate_diag(g, i);
+      current_diag_rows_ = i + 1;
+    }
+    {
+      std::lock_guard lk(mu_);
+      groups_done_.store(g + 1);
+      current_group_ = g + 1;
+      current_diag_rows_ = 0;
+    }
+  }
+  running_.store(false);
+}
+
+void OnlineMigrator::read_block(std::int64_t logical,
+                                std::span<std::uint8_t> out) {
+  const Locus l = locate(logical);
+  std::lock_guard lk(mu_);
+  array_.read_block(l.disk, l.block, out);
+  ++stats_.app_reads;
+}
+
+void OnlineMigrator::write_block(std::int64_t logical,
+                                 std::span<const std::uint8_t> in) {
+  const Locus l = locate(logical);
+  const int p = code_.p();
+  pending_writers_.fetch_add(1);
+  std::unique_lock lk(mu_);
+  pending_writers_.fetch_sub(1);
+  if (running_.load()) ++stats_.interruptions;
+
+  const std::size_t bs = array_.block_bytes();
+  Buffer old_data(bs), delta(bs), par(bs);
+  array_.read_block(l.disk, l.block, old_data.span());
+  ++stats_.app_reads;
+  xor_to(delta.data(), old_data.data(), in.data(), bs);
+
+  // Horizontal parity: always maintained (it is the RAID-5 parity).
+  const int hpar_disk = p - 2 - l.row;
+  array_.read_block(hpar_disk, l.block, par.span());
+  ++stats_.app_reads;
+  xor_into(par.span(), delta.span());
+  array_.write_block(hpar_disk, l.block, par.span());
+  ++stats_.app_writes;
+
+  // Diagonal parity: only if this block's diagonal chain is already on
+  // the new disk (otherwise the converter will fold the new value in).
+  const bool have_new_disk = new_disk_ >= 0;
+  if (have_new_disk) {
+    const int diag_row = pmod(l.row + l.disk + 1, p);
+    const bool generated =
+        l.group < groups_done_.load() ||
+        (l.group == current_group_ && diag_row < current_diag_rows_);
+    // The horizontal-parity anti-diagonal (row + col == p-2) is on no
+    // diagonal chain -- but locate() only yields data cells, and every
+    // data cell is on exactly one chain, so diag_row is always valid.
+    if (generated) {
+      array_.read_block(new_disk_, l.group * (p - 1) + diag_row, par.span());
+      ++stats_.app_reads;
+      xor_into(par.span(), delta.span());
+      array_.write_block(new_disk_, l.group * (p - 1) + diag_row,
+                         par.span());
+      ++stats_.app_writes;
+    }
+  }
+
+  array_.write_block(l.disk, l.block, in);
+  ++stats_.app_writes;
+  lk.unlock();
+  cv_.notify_all();
+}
+
+OnlineStats OnlineMigrator::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+bool OnlineMigrator::verify_raid6() const {
+  const int p = code_.p();
+  const std::size_t bs = array_.block_bytes();
+  Buffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
+  for (std::int64_t g = 0; g < groups_; ++g) {
+    StripeView v = StripeView::over(stripe, p - 1, p, bs);
+    for (int r = 0; r <= p - 2; ++r) {
+      for (int c = 0; c <= p - 1; ++c) {
+        const auto src = array_.raw_block(c, g * (p - 1) + r);
+        std::ranges::copy(src, v.block({r, c}).begin());
+      }
+    }
+    if (!code_.verify(v)) return false;
+  }
+  return true;
+}
+
+int OnlineMigrator::revert_to_raid5() {
+  if (running_.load()) {
+    throw std::logic_error("cannot revert while converting");
+  }
+  // Step 1-2 of the reverse direction: the first m columns already form
+  // a valid RAID-5; the diagonal column is simply abandoned.
+  return new_disk_;
+}
+
+}  // namespace c56::mig

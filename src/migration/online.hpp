@@ -1,0 +1,110 @@
+#pragma once
+// Algorithm 2: online bidirectional conversion between a RAID-5 and a
+// RAID-6 using Code 5-6.
+//
+// The migrator owns two flows over one DiskArray:
+//   * a conversion thread that walks the stripe groups and generates
+//     the diagonal parities onto the freshly added disk;
+//   * the application path (read_block / write_block), called from any
+//     thread. Reads never conflict with the conversion (only the new
+//     disk is written). A write interrupts the conversion thread,
+//     performs its read-modify-write of the horizontal parity — and of
+//     the diagonal parity too, when the block's diagonal chain has
+//     already been generated — and then lets the conversion resume,
+//     exactly as the paper's algorithm describes.
+//
+// The RAID-6 -> RAID-5 direction is the trivial Step 1-2 of the
+// algorithm: verify the geometry and drop the last column.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "codes/code56.hpp"
+#include "migration/disk_array.hpp"
+
+namespace c56::mig {
+
+struct OnlineStats {
+  std::uint64_t conv_reads = 0;
+  std::uint64_t conv_writes = 0;
+  std::uint64_t app_reads = 0;
+  std::uint64_t app_writes = 0;
+  std::uint64_t interruptions = 0;  // writes that preempted the converter
+};
+
+class OnlineMigrator {
+ public:
+  /// `array` must hold m = p-1 disks laid out as a left-asymmetric
+  /// RAID-5 whose blocks_per_disk is a multiple of p-1 (one Code 5-6
+  /// stripe group per p-1 rows).
+  OnlineMigrator(DiskArray& array, int p);
+
+  OnlineMigrator(const OnlineMigrator&) = delete;
+  OnlineMigrator& operator=(const OnlineMigrator&) = delete;
+  ~OnlineMigrator();
+
+  const Code56& code() const { return code_; }
+  std::int64_t groups() const { return groups_; }
+  std::int64_t logical_blocks() const;  // data blocks addressable by apps
+
+  /// Step 2-3 of Algorithm 2: add the new disk and start the
+  /// conversion thread.
+  void start();
+  /// Block until the conversion thread finishes.
+  void finish();
+  bool converting() const { return running_.load(); }
+  std::int64_t groups_done() const { return groups_done_.load(); }
+
+  /// Application I/O on logical data blocks (RAID-5 data addressing;
+  /// safe to call concurrently with the conversion and with itself).
+  void read_block(std::int64_t logical, std::span<std::uint8_t> out);
+  void write_block(std::int64_t logical, std::span<const std::uint8_t> in);
+
+  OnlineStats stats() const;
+
+  /// Post-conversion check: every stripe group satisfies all Code 5-6
+  /// parity chains.
+  bool verify_raid6() const;
+
+  /// Reverse conversion (RAID-6 -> RAID-5): conceptually deletes the
+  /// last column. Returns the index of the now-obsolete disk; the first
+  /// m disks again form a plain RAID-5.
+  int revert_to_raid5();
+
+ private:
+  struct Locus {  // physical location of a logical data block
+    int disk;
+    std::int64_t block;
+    int group;      // stripe group
+    int row;        // row within the group (== target stripe row)
+  };
+  Locus locate(std::int64_t logical) const;
+  void conversion_loop();
+  void generate_diag(std::int64_t group, int diag_row);
+
+  DiskArray& array_;
+  Code56 code_;
+  int m_;                       // source disks
+  std::int64_t groups_;
+  int new_disk_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<int> pending_writers_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> groups_done_{0};
+  // Diagonal-parity progress: for the group currently being converted,
+  // how many diagonal rows are already on disk. Groups below
+  // groups_done_ are fully generated.
+  std::int64_t current_group_ = 0;
+  int current_diag_rows_ = 0;
+
+  std::thread worker_;
+  OnlineStats stats_;
+};
+
+}  // namespace c56::mig

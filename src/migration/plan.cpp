@@ -1,0 +1,201 @@
+#include "migration/plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "codes/code56.hpp"
+#include "util/prime.hpp"
+
+namespace c56::mig {
+
+std::size_t StripePhaseOps::reads() const {
+  std::size_t n = 0;
+  for (const CellOp& op : ops) n += !op.write;
+  return n;
+}
+
+std::size_t StripePhaseOps::writes() const {
+  std::size_t n = 0;
+  for (const CellOp& op : ops) n += op.write;
+  return n;
+}
+
+ConversionPlanner::ConversionPlanner(const ConversionSpec& spec,
+                                     Raid5Flavor flavor, PassPolicy policy)
+    : spec_(spec), flavor_(flavor), policy_(policy) {
+  if (!spec.valid()) {
+    throw std::invalid_argument("invalid conversion spec: " + spec.label());
+  }
+  if (spec.code == CodeId::kCode56) {
+    code_ = std::make_unique<Code56>(spec.p, spec.p - spec.m - 1);
+    for (int k = 0; k < spec.m; ++k) {
+      original_cols_.push_back(spec.virtual_disks() + k);
+    }
+  } else {
+    code_ = make_code(spec.code, spec.p);
+    for (int k = 0; k < spec.m; ++k) original_cols_.push_back(k);
+  }
+  reuse_ = reuses_raid5_parity(spec.code);
+}
+
+int ConversionPlanner::phase_count() const {
+  return spec_.approach == Approach::kDirect ? 1 : 2;
+}
+
+bool ConversionPlanner::is_original(int col) const {
+  return std::ranges::find(original_cols_, col) != original_cols_.end();
+}
+
+bool ConversionPlanner::is_reserved(Cell c) const {
+  if (!is_original(c.col)) return false;
+  const CellKind k = code_->kind(c);
+  if (k == CellKind::kRowParity && reuse_) return false;
+  return is_parity(k);
+}
+
+int ConversionPlanner::hole_col(std::int64_t g, int r) const {
+  if (reuse_) return -1;
+  // The old parity of this source row rotates over the m original
+  // disks; if the rotation lands on a reserved cell, shift cyclically
+  // to the next source-usable column.
+  const std::int64_t global_row = g * code_->rows() + r;
+  // The rotation has period m, so reduce before the int conversion.
+  int k = raid5_parity_disk(flavor_, static_cast<int>(global_row % spec_.m),
+                            spec_.m);
+  for (int probe = 0; probe < spec_.m; ++probe) {
+    const int col = original_cols_[static_cast<std::size_t>(
+        (k + probe) % spec_.m)];
+    if (!is_reserved({r, col}) &&
+        code_->kind({r, col}) != CellKind::kVirtual) {
+      return col;
+    }
+  }
+  return -1;  // the row holds no source content (fully reserved)
+}
+
+bool ConversionPlanner::is_source_data(std::int64_t g, Cell c) const {
+  if (!is_original(c.col)) return false;            // added disk: empty
+  if (code_->kind(c) == CellKind::kVirtual) return false;
+  if (is_reserved(c)) return false;                 // pre-reserved space
+  if (reuse_) return code_->kind(c) == CellKind::kData;
+  return c.col != hole_col(g, c.row);               // hole == old parity slot
+}
+
+std::vector<StripePhaseOps> ConversionPlanner::ops_for_group(
+    std::int64_t g) const {
+  const ErasureCode& code = *code_;
+  std::vector<StripePhaseOps> out;
+
+  // Partition parity cells exactly as the cost model does.
+  std::set<std::pair<int, int>> row_parities, other_parities, all_parities;
+  for (int r = 0; r < code.rows(); ++r) {
+    for (int c = 0; c < code.cols(); ++c) {
+      const CellKind k = code.kind({r, c});
+      if (!is_parity(k)) continue;
+      all_parities.insert({r, c});
+      (k == CellKind::kRowParity ? row_parities : other_parities)
+          .insert({r, c});
+    }
+  }
+
+  auto generation = [&](std::string name,
+                        const std::set<std::pair<int, int>>& generated,
+                        const std::set<std::pair<int, int>>& prior) {
+    StripePhaseOps ph;
+    ph.name = std::move(name);
+    std::set<std::pair<int, int>> read_once;
+    CellKind current_set = CellKind::kData;  // sentinel
+    int pass = -1;
+    for (const ParityChain& ch : code.chains()) {
+      if (!generated.count({ch.parity.row, ch.parity.col})) continue;
+      if (pass < 0) {
+        pass = 0;
+        current_set = code.kind(ch.parity);
+      } else if (policy_ == PassPolicy::kPassPerParitySet &&
+                 code.kind(ch.parity) != current_set) {
+        current_set = code.kind(ch.parity);
+        read_once.clear();  // a new streaming pass begins
+        ++pass;
+      }
+      for (Cell in : ch.inputs) {
+        const std::pair<int, int> key{in.row, in.col};
+        if (generated.count(key)) continue;  // in memory this phase
+        bool need_read = false;
+        if (prior.count(key) || is_parity(code.kind(in))) {
+          need_read = true;
+        } else {
+          need_read = is_source_data(g, in);
+        }
+        if (need_read && read_once.insert(key).second) {
+          ph.ops.push_back({in, false, pass});
+        }
+      }
+      ph.ops.push_back({ch.parity, true, pass});
+    }
+    return ph;
+  };
+
+  auto holes_phase = [&](std::string name, bool read, bool write) {
+    StripePhaseOps ph;
+    ph.name = std::move(name);
+    for (int r = 0; r < code.rows(); ++r) {
+      const int hc = hole_col(g, r);
+      if (hc < 0) continue;
+      if (code.kind({r, hc}) == CellKind::kVirtual) continue;
+      if (read) ph.ops.push_back({{r, hc}, false});
+      if (write) ph.ops.push_back({{r, hc}, true});
+    }
+    return ph;
+  };
+
+  switch (spec_.approach) {
+    case Approach::kViaRaid0: {
+      out.push_back(holes_phase("degrade: invalidate old parity",
+                                /*read=*/false, /*write=*/true));
+      out.push_back(generation("upgrade: generate all parities",
+                               all_parities, {}));
+      break;
+    }
+    case Approach::kViaRaid4: {
+      StripePhaseOps ph1 =
+          holes_phase("degrade: migrate old parity", /*read=*/true,
+                      /*write=*/false);
+      // Each old parity lands on the row-parity cell of its row.
+      for (const auto& [r, c] : row_parities) {
+        ph1.ops.push_back({{r, c}, true});
+      }
+      out.push_back(std::move(ph1));
+      out.push_back(generation("upgrade: generate diagonal parities",
+                               other_parities, row_parities));
+      break;
+    }
+    case Approach::kDirect: {
+      if (spec_.code == CodeId::kCode56) {
+        out.push_back(generation("direct: generate diagonal parities",
+                                 other_parities, {}));
+      } else if (spec_.code == CodeId::kHdp) {
+        StripePhaseOps ph = generation(
+            "direct: generate anti-diagonal parities + fold rows",
+            other_parities, {});
+        for (const auto& [r, c] : row_parities) {
+          ph.ops.push_back({{r, c}, false});
+          ph.ops.push_back({{r, c}, true});
+        }
+        out.push_back(std::move(ph));
+      } else {
+        StripePhaseOps ph = generation(
+            "direct: generate parities + invalidate old", all_parities, {});
+        StripePhaseOps inval =
+            holes_phase("", /*read=*/false, /*write=*/true);
+        for (const CellOp& op : inval.ops) ph.ops.push_back(op);
+        out.push_back(std::move(ph));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace c56::mig

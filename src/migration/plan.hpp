@@ -1,0 +1,78 @@
+#pragma once
+// Concrete conversion plans.
+//
+// Where cost_model.{hpp,cpp} computes amortized closed-form ratios (the
+// paper's Section V-A/B "mathematical analysis"), this planner emits the
+// exact block-level operations of every stripe group, with the
+// old-parity holes resolved through the source RAID-5 rotation — the
+// input the trace generator turns into the simulator workload of
+// Section V-C. Tests cross-validate the two: plan op counts averaged
+// over many groups converge to the cost-model ratios.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/raid.hpp"
+#include "migration/cost_model.hpp"
+
+namespace c56::mig {
+
+struct CellOp {
+  Cell cell;       // target-stripe coordinates
+  bool write = false;
+  int pass = 0;    // streaming pass within the phase (see PassPolicy)
+};
+
+struct StripePhaseOps {
+  std::string name;
+  std::vector<CellOp> ops;
+
+  std::size_t reads() const;
+  std::size_t writes() const;
+};
+
+enum class PassPolicy {
+  /// One streaming pass computes every parity set: each source block is
+  /// read once per phase (the idealized accounting of the closed-form
+  /// model in cost_model.cpp).
+  kSinglePass,
+  /// One streaming pass per parity geometry (rows, diagonals,
+  /// anti-diagonals): a memory-bounded converter re-reads the data for
+  /// each chain orientation. Default for trace generation.
+  kPassPerParitySet,
+};
+
+class ConversionPlanner {
+ public:
+  explicit ConversionPlanner(const ConversionSpec& spec,
+                             Raid5Flavor flavor = Raid5Flavor::kLeftAsymmetric,
+                             PassPolicy policy = PassPolicy::kPassPerParitySet);
+
+  const ConversionSpec& spec() const { return spec_; }
+  const ErasureCode& code() const { return *code_; }
+  int phase_count() const;
+
+  /// Exact block operations for stripe group g. Element order inside a
+  /// phase follows chain/encode order (the streaming order a converter
+  /// would use).
+  std::vector<StripePhaseOps> ops_for_group(std::int64_t g) const;
+
+  /// The original column holding the (NULLed or migrated) old parity of
+  /// target row `r` in group `g`, or -1 when the layout reuses parities.
+  int hole_col(std::int64_t g, int r) const;
+
+ private:
+  bool is_reserved(Cell c) const;
+  bool is_original(int col) const;
+  bool is_source_data(std::int64_t g, Cell c) const;
+
+  ConversionSpec spec_;
+  Raid5Flavor flavor_;
+  PassPolicy policy_;
+  std::unique_ptr<ErasureCode> code_;
+  std::vector<int> original_cols_;
+  bool reuse_;
+};
+
+}  // namespace c56::mig

@@ -1,0 +1,82 @@
+#include "migration/trace_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace c56::mig {
+
+int physical_disk(const ConversionPlanner& planner, int col, std::int64_t g) {
+  const ConversionSpec& spec = planner.spec();
+  const int v = spec.virtual_disks();
+  if (col < v) return -1;  // virtual column, never materialized
+  const int phys = col - v;
+  const int n = spec.n();
+  if (!spec.load_balanced) return phys;
+  return static_cast<int>((phys + g) % n);
+}
+
+sim::Trace make_conversion_trace(const ConversionPlanner& planner,
+                                 const TraceParams& params) {
+  const ConversionSpec& spec = planner.spec();
+  const double per_stripe = data_blocks_per_stripe(spec);
+  const std::int64_t groups = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(params.total_data_blocks) / per_stripe));
+  const std::int64_t sweep =
+      params.groups_per_sweep > 0 ? params.groups_per_sweep : groups;
+  const int rows = planner.code().rows();
+  const std::uint32_t sectors_per_block =
+      std::max<std::uint32_t>(1, params.block_bytes / 512);
+
+  sim::Trace trace;
+  for (std::int64_t g0 = 0; g0 < groups; g0 += sweep) {
+    const std::int64_t g1 = std::min(groups, g0 + sweep);
+    // Gather per-phase requests across the whole sweep so the degrade
+    // step of every group in the sweep precedes any upgrade I/O.
+    std::vector<sim::Phase> phases(
+        static_cast<std::size_t>(planner.phase_count()));
+    for (std::size_t k = 0; k < phases.size(); ++k) {
+      phases[k].name = "sweep@" + std::to_string(g0) + "/phase" +
+                       std::to_string(k);
+    }
+    std::vector<std::vector<std::pair<int, sim::Request>>> sweep_reqs(
+        phases.size());
+    for (std::int64_t g = g0; g < g1; ++g) {
+      const auto ops = planner.ops_for_group(g);
+      assert(ops.size() == phases.size());
+      for (std::size_t k = 0; k < ops.size(); ++k) {
+        for (const CellOp& op : ops[k].ops) {
+          const int disk = physical_disk(planner, op.cell.col, g);
+          assert(disk >= 0 && "plan op touches a virtual column");
+          sim::Request req;
+          req.disk = disk;
+          req.lba = static_cast<std::uint64_t>(g * rows + op.cell.row) *
+                    sectors_per_block;
+          req.bytes = params.block_bytes;
+          req.op = op.write ? sim::Op::kWrite : sim::Op::kRead;
+          sweep_reqs[k].push_back({op.pass, req});
+        }
+      }
+    }
+    // A streaming converter runs each pass as one sequential sweep over
+    // the whole batch; a stable (pass, LBA) sort realizes that dispatch
+    // order while preserving the plan's op multiset. Codes with a
+    // second chain geometry pay a full second sweep (and one
+    // repositioning), single-set codes like Code 5-6 stream once.
+    for (std::size_t k = 0; k < phases.size(); ++k) {
+      std::stable_sort(sweep_reqs[k].begin(), sweep_reqs[k].end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first != b.first
+                                    ? a.first < b.first
+                                    : a.second.lba < b.second.lba;
+                       });
+      for (const auto& [pass, req] : sweep_reqs[k]) {
+        phases[k].requests.push_back(req);
+      }
+    }
+    for (auto& ph : phases) trace.phases.push_back(std::move(ph));
+  }
+  return trace;
+}
+
+}  // namespace c56::mig

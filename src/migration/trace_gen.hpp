@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic migration trace generator — the Section V-C methodology:
+// "we generate different synthetic traces for the migration I/Os by
+// using various coding schemes, based on the results of mathematical
+// analysis". Each conversion plan is expanded into per-disk block
+// requests; the two-step approaches produce two simulator phases per
+// sweep so the degrade step completes before the upgrade begins.
+//
+// Load balancing rotates the whole stripe layout by one disk per
+// group, spreading the dedicated-parity traffic over all spindles (the
+// "with load balancing support" configuration of Figures 17/19).
+
+#include <cstdint>
+
+#include "migration/plan.hpp"
+#include "sim/trace.hpp"
+
+namespace c56::mig {
+
+struct TraceParams {
+  std::int64_t total_data_blocks = 600'000;  // B, as in Section V-C
+  std::uint32_t block_bytes = 4096;          // 4 KB or 8 KB in the paper
+  /// Groups whose phase-k requests are batched into one simulator
+  /// phase. Large batches model a converter that streams the degrade
+  /// step across the whole array before upgrading (the paper's
+  /// sequential steps); the group interleaving *within* a batch still
+  /// alternates per stripe.
+  std::int64_t groups_per_sweep = 0;  // 0 = all groups in one sweep
+};
+
+/// Expand a conversion into a simulator trace.
+sim::Trace make_conversion_trace(const ConversionPlanner& planner,
+                                 const TraceParams& params);
+
+/// Physical disk index of a target column for group g (handles virtual
+/// columns and load-balancing rotation). Returns -1 for virtual columns.
+int physical_disk(const ConversionPlanner& planner, int col, std::int64_t g);
+
+}  // namespace c56::mig

@@ -1,0 +1,36 @@
+#include "sim/disk_model.hpp"
+
+#include <cassert>
+
+namespace c56::sim {
+
+DiskModel::DiskModel(const DiskParams& params) : params_(params) {}
+
+double DiskModel::service_time_ms(std::uint64_t lba, std::size_t bytes) {
+  assert(bytes > 0);
+  double t = 0.0;
+  if (!has_position_ || lba < next_sequential_lba_) {
+    t += params_.avg_seek_ms + params_.avg_rotational_ms();
+  } else if (lba != next_sequential_lba_) {
+    const std::uint64_t gap = lba - next_sequential_lba_;
+    if (gap <= params_.skip_window_sectors) {
+      // Pass over the skipped sectors under rotation.
+      t += static_cast<double>(gap * params_.sector_bytes) /
+           (params_.transfer_mb_s * 1e6) * 1e3;
+    } else {
+      t += params_.avg_seek_ms + params_.avg_rotational_ms();
+    }
+  }
+  t += static_cast<double>(bytes) / (params_.transfer_mb_s * 1e6) * 1e3;
+  has_position_ = true;
+  next_sequential_lba_ = lba + (bytes + params_.sector_bytes - 1) /
+                                   params_.sector_bytes;
+  return t;
+}
+
+void DiskModel::reset() {
+  has_position_ = false;
+  next_sequential_lba_ = 0;
+}
+
+}  // namespace c56::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Positional disk service-time model, the core of the DiskSim
+// substitute (see DESIGN.md, substitutions). A request pays seek +
+// average rotational latency unless it starts exactly where the
+// previous one ended (sequential streaming), plus transfer time at the
+// sustained rate. Defaults approximate the 7200 rpm SATA drives of the
+// paper's era.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace c56::sim {
+
+struct DiskParams {
+  double avg_seek_ms = 4.2;
+  double rpm = 7200.0;
+  double transfer_mb_s = 90.0;
+  std::uint32_t sector_bytes = 512;
+  /// Short forward skips (e.g. hopping over a parity hole) stay on
+  /// track and cost pass-over time instead of a full reposition.
+  std::uint64_t skip_window_sectors = 2048;  // 1 MiB
+
+  /// Average rotational latency: half a revolution.
+  double avg_rotational_ms() const { return 0.5 * 60.0 * 1e3 / rpm; }
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(const DiskParams& params = {});
+
+  /// Service time of the next request, updating head state. `lba` is in
+  /// sectors.
+  double service_time_ms(std::uint64_t lba, std::size_t bytes);
+
+  void reset();
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  DiskParams params_;
+  bool has_position_ = false;
+  std::uint64_t next_sequential_lba_ = 0;
+};
+
+}  // namespace c56::sim

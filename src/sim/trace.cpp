@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+namespace c56::sim {
+
+std::size_t Trace::total_requests() const {
+  std::size_t n = 0;
+  for (const Phase& ph : phases) n += ph.requests.size();
+  return n;
+}
+
+std::size_t Trace::total_reads() const {
+  std::size_t n = 0;
+  for (const Phase& ph : phases) {
+    for (const Request& r : ph.requests) n += r.op == Op::kRead;
+  }
+  return n;
+}
+
+std::size_t Trace::total_writes() const {
+  std::size_t n = 0;
+  for (const Phase& ph : phases) {
+    for (const Request& r : ph.requests) n += r.op == Op::kWrite;
+  }
+  return n;
+}
+
+}  // namespace c56::sim

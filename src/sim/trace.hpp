@@ -1,0 +1,42 @@
+#pragma once
+// I/O traces consumed by the array simulator. A trace is a sequence of
+// phases; requests inside one phase are dispatched concurrently to
+// their per-disk FIFO queues, and a phase begins only after the
+// previous one fully completes — matching the sequential degrade /
+// upgrade steps of the conversion approaches of Section I.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c56::sim {
+
+enum class Op : std::uint8_t { kRead, kWrite };
+
+struct Request {
+  int disk = 0;
+  std::uint64_t lba = 0;  // sectors
+  std::uint32_t bytes = 0;
+  Op op = Op::kRead;
+  /// Arrival time relative to the phase start; a disk serves its queue
+  /// in arrival order and idles until the next arrival when drained.
+  double issue_ms = 0.0;
+  /// Free-form label; per-tag latency statistics are reported by the
+  /// simulator (0 = untagged bulk I/O, e.g. the conversion stream).
+  int tag = 0;
+};
+
+struct Phase {
+  std::string name;
+  std::vector<Request> requests;
+};
+
+struct Trace {
+  std::vector<Phase> phases;
+
+  std::size_t total_requests() const;
+  std::size_t total_reads() const;
+  std::size_t total_writes() const;
+};
+
+}  // namespace c56::sim

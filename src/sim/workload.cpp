@@ -1,0 +1,77 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace c56::sim {
+
+std::vector<Request> make_workload(const WorkloadParams& p) {
+  if (p.disks <= 0 || p.blocks_per_disk <= 0 || p.iops <= 0.0 ||
+      p.horizon_ms <= 0.0) {
+    throw std::invalid_argument("make_workload: bad parameters");
+  }
+  Rng rng(p.seed);
+  std::vector<Request> out;
+  const std::uint32_t sectors =
+      std::max<std::uint32_t>(1, p.block_bytes / 512);
+  const std::int64_t total_blocks =
+      static_cast<std::int64_t>(p.disks) * p.blocks_per_disk;
+
+  // Zipf over a fixed number of rank buckets mapped onto the address
+  // space; the classic harmonic form is fine at this granularity.
+  std::vector<double> zipf_cdf;
+  if (p.pattern == AddressPattern::kZipf) {
+    constexpr int kRanks = 1024;
+    zipf_cdf.reserve(kRanks);
+    double sum = 0.0;
+    for (int i = 1; i <= kRanks; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), p.zipf_theta);
+      zipf_cdf.push_back(sum);
+    }
+    for (double& v : zipf_cdf) v /= sum;
+  }
+
+  double t = 0.0;
+  std::int64_t seq_cursor = 0;
+  while (true) {
+    // Exponential inter-arrival.
+    t += -std::log(1.0 - rng.next_double()) * 1e3 / p.iops;
+    if (t >= p.horizon_ms) break;
+    std::int64_t block = 0;
+    switch (p.pattern) {
+      case AddressPattern::kUniform:
+        block = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(total_blocks)));
+        break;
+      case AddressPattern::kSequential:
+        block = seq_cursor++ % total_blocks;
+        break;
+      case AddressPattern::kZipf: {
+        const double u = rng.next_double();
+        const auto it =
+            std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+        const auto rank = static_cast<std::size_t>(
+            std::distance(zipf_cdf.begin(), it));
+        // Scatter each rank bucket deterministically over the space.
+        const std::int64_t bucket = static_cast<std::int64_t>(
+            (rank * 2654435761u) % static_cast<std::uint64_t>(total_blocks));
+        block = bucket;
+        break;
+      }
+    }
+    Request r;
+    r.disk = static_cast<int>(block % p.disks);
+    r.lba = static_cast<std::uint64_t>(block / p.disks) * sectors;
+    r.bytes = p.block_bytes;
+    r.op = rng.next_double() < p.read_fraction ? Op::kRead : Op::kWrite;
+    r.issue_ms = t;
+    r.tag = p.tag;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace c56::sim

@@ -1,0 +1,27 @@
+#include "util/prime.hpp"
+
+namespace c56 {
+
+bool is_prime(int n) noexcept {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  if (n % 3 == 0) return n == 3;
+  for (int f = 5; static_cast<long long>(f) * f <= n; f += 6) {
+    if (n % f == 0 || n % (f + 2) == 0) return false;
+  }
+  return true;
+}
+
+int next_prime_above(int n) noexcept {
+  int c = n + 1;
+  if (c <= 2) return 2;
+  if (c % 2 == 0) ++c;
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+int next_prime_at_least(int n) noexcept {
+  return is_prime(n) ? n : next_prime_above(n);
+}
+
+}  // namespace c56

@@ -1,0 +1,24 @@
+#pragma once
+// Prime-number helpers. Array codes in this library (Code 5-6, RDP,
+// EVENODD, X-Code, P-Code, H-Code, HDP) are all defined for a prime
+// parameter p; conversion planning also needs "smallest prime > m"
+// for the virtual-disk construction of Section IV-B2 of the paper.
+
+namespace c56 {
+
+/// True iff n is prime (n >= 0; 0 and 1 are not prime).
+bool is_prime(int n) noexcept;
+
+/// Smallest prime strictly greater than n. n must be < 2^30.
+int next_prime_above(int n) noexcept;
+
+/// Smallest prime >= n.
+int next_prime_at_least(int n) noexcept;
+
+/// Positive remainder of a mod p (works for negative a), p > 0.
+constexpr int pmod(int a, int p) noexcept {
+  int r = a % p;
+  return r < 0 ? r + p : r;
+}
+
+}  // namespace c56

@@ -1,0 +1,29 @@
+#pragma once
+// Deterministic, seedable PRNG (splitmix64 + xoshiro256**). All tests,
+// examples and trace generators draw from this so that every run of the
+// suite is reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace c56 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound) via rejection-free Lemire reduction. bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Fill a byte buffer with pseudo-random bytes.
+  void fill(void* dst, std::size_t n) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace c56

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace c56 {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == '%' || c == 'x' || c == 'e')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : header_[c];
+      const std::size_t pad = width[c] - s.size();
+      os << ' ';
+      if (looks_numeric(s)) {
+        os << std::string(pad, ' ') << s;
+      } else {
+        os << s << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+  line(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+}  // namespace c56

@@ -1,0 +1,28 @@
+#pragma once
+// Minimal ASCII table formatter used by the benchmark harnesses to print
+// figure series and table rows in the same shape the paper reports them.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace c56 {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);  // 0.5 -> "50.0%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace c56

@@ -1,0 +1,37 @@
+#include "xorblk/buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace c56 {
+
+Buffer::Buffer(std::size_t size, std::uint8_t fill)
+    : bytes_(new std::uint8_t[size]), size_(size) {
+  std::memset(bytes_.get(), fill, size);
+}
+
+Buffer::Buffer(const Buffer& other)
+    : bytes_(other.size_ ? new std::uint8_t[other.size_] : nullptr),
+      size_(other.size_) {
+  if (size_ > 0) std::memcpy(bytes_.get(), other.bytes_.get(), size_);
+}
+
+Buffer& Buffer::operator=(const Buffer& other) {
+  if (this == &other) return *this;
+  Buffer tmp(other);
+  std::swap(bytes_, tmp.bytes_);
+  std::swap(size_, tmp.size_);
+  return *this;
+}
+
+void Buffer::zero() noexcept {
+  if (size_ > 0) std::memset(bytes_.get(), 0, size_);
+}
+
+bool operator==(const Buffer& a, const Buffer& b) noexcept {
+  return a.size_ == b.size_ &&
+         (a.size_ == 0 ||
+          std::memcmp(a.bytes_.get(), b.bytes_.get(), a.size_) == 0);
+}
+
+}  // namespace c56

@@ -1,0 +1,49 @@
+#pragma once
+// Owning byte buffer aligned for the XOR kernels. A stripe of an array
+// code is stored as rows*cols consecutive blocks inside one Buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace c56 {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size, std::uint8_t fill = 0);
+
+  Buffer(const Buffer& other);
+  Buffer& operator=(const Buffer& other);
+  Buffer(Buffer&&) noexcept = default;
+  Buffer& operator=(Buffer&&) noexcept = default;
+
+  std::size_t size() const noexcept { return size_; }
+  std::uint8_t* data() noexcept { return bytes_.get(); }
+  const std::uint8_t* data() const noexcept { return bytes_.get(); }
+
+  std::span<std::uint8_t> span() noexcept { return {data(), size_}; }
+  std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size_};
+  }
+
+  /// Block #i of a buffer partitioned into blocks of block_size bytes.
+  std::span<std::uint8_t> block(std::size_t i, std::size_t block_size) noexcept {
+    return span().subspan(i * block_size, block_size);
+  }
+  std::span<const std::uint8_t> block(std::size_t i,
+                                      std::size_t block_size) const noexcept {
+    return span().subspan(i * block_size, block_size);
+  }
+
+  void zero() noexcept;
+
+  friend bool operator==(const Buffer& a, const Buffer& b) noexcept;
+
+ private:
+  std::unique_ptr<std::uint8_t[]> bytes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace c56

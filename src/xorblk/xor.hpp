@@ -1,0 +1,27 @@
+#pragma once
+// Word-wide XOR kernels over byte blocks. Every parity computation in the
+// library reduces to these three primitives. Blocks are arbitrary byte
+// ranges; the kernels process eight 64-bit lanes per iteration when the
+// length allows and fall back to bytes at the tail.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace c56 {
+
+/// dst ^= src, element-wise over n bytes. Regions must not overlap.
+void xor_into(void* dst, const void* src, std::size_t n) noexcept;
+
+/// dst = a ^ b over n bytes. dst may alias a or b exactly (same pointer).
+void xor_to(void* dst, const void* a, const void* b, std::size_t n) noexcept;
+
+/// True iff all n bytes are zero.
+bool all_zero(const void* p, std::size_t n) noexcept;
+
+/// span convenience wrappers (sizes must match; checked in debug builds).
+void xor_into(std::span<std::uint8_t> dst,
+              std::span<const std::uint8_t> src) noexcept;
+bool all_zero(std::span<const std::uint8_t> s) noexcept;
+
+}  // namespace c56

@@ -1,0 +1,180 @@
+// Structural tests of the reconstruction theory:
+//  * Theorem 1 / Lemma 1 / Fig. 5: for every pair of failed data
+//    columns the two recovery chains — alternating diagonal and
+//    horizontal steps from the Theorem's starting points — visit every
+//    lost cell exactly once and terminate at the anti-diagonal cells;
+//  * EVENODD's adjuster identity S == XOR(row parities) ^ XOR(diagonal
+//    parities);
+//  * the chain solver against brute-force GF(2) reference systems.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/code56.hpp"
+#include "codes/evenodd.hpp"
+#include "gf2/chain_solver.hpp"
+#include "util/prime.hpp"
+#include "util/rng.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+namespace {
+
+class Theorem1Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1Test, TwoChainsPartitionTheLostCells) {
+  const int p = GetParam();
+  for (int f1 = 0; f1 <= p - 3; ++f1) {
+    for (int f2 = f1 + 1; f2 <= p - 2; ++f2) {
+      // Walk one chain: recover (r, col) via its diagonal, then the row
+      // partner (r, other); the next diagonal step goes through the
+      // partner. A cell on the anti-diagonal r + j == p-2 (a horizontal
+      // parity position) ends the chain after its row step.
+      std::set<std::pair<int, int>> visited;
+      auto walk = [&](Cell start, int start_col) {
+        int col = start_col;
+        int row = start.row;
+        for (int step = 0; step <= p; ++step) {  // Lemma 1 bounds the walk
+          EXPECT_TRUE(visited.insert({row, col}).second)
+              << "revisited (" << row << "," << col << ") f1=" << f1
+              << " f2=" << f2;
+          // Row partner.
+          const int other = col == f1 ? f2 : f1;
+          EXPECT_TRUE(visited.insert({row, other}).second);
+          // Partner on the unprotected anti-diagonal? chain ends.
+          if (pmod(row + other, p) == p - 2) {
+            EXPECT_EQ(other == f1 ? p - 2 - f1 : p - 2 - f2, row)
+                << "endpoint mismatch";  // C[p-2-f][f] per Algorithm 1
+            return;
+          }
+          // Diagonal step: the diagonal through (row, other) meets the
+          // opposite column at row' with row' + col == row + other.
+          const int next_row = pmod(row + other - col, p);
+          ASSERT_LE(next_row, p - 2);
+          row = next_row;
+          // col unchanged: the diagonal's second lost cell is in `col`.
+        }
+        FAIL() << "recovery chain did not terminate";
+      };
+      walk({f2 - f1 - 1, f1}, f1);
+      walk({p - 1 - f2 + f1, f2}, f2);
+      // Together the chains cover all 2(p-1) lost cells exactly once.
+      EXPECT_EQ(visited.size(), static_cast<std::size_t>(2 * (p - 1)))
+          << "f1=" << f1 << " f2=" << f2;
+      for (int r = 0; r <= p - 2; ++r) {
+        EXPECT_TRUE(visited.count({r, f1}));
+        EXPECT_TRUE(visited.count({r, f2}));
+      }
+    }
+  }
+}
+
+TEST_P(Theorem1Test, StartingPointsAreOnTheDiagonalsMissingTheOtherColumn) {
+  const int p = GetParam();
+  Code56 code(p);
+  for (int f1 = 0; f1 <= p - 3; ++f1) {
+    for (int f2 = f1 + 1; f2 <= p - 2; ++f2) {
+      // C[f2-f1-1][f1] lies on the diagonal r+j == f2-1 (mod p), which
+      // is exactly the diagonal that skips column f2.
+      EXPECT_EQ(pmod((f2 - f1 - 1) + f1, p), pmod(f2 - 1, p));
+      EXPECT_EQ(pmod((p - 1 - f2 + f1) + f2, p), pmod(f1 - 1, p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, Theorem1Test,
+                         ::testing::Values(5, 7, 11, 13, 17, 19));
+
+TEST(EvenOddStructure, AdjusterIdentity) {
+  // S (the XOR of the adjuster diagonal) equals XOR(row parities) ^
+  // XOR(diagonal parities) on any encoded stripe — the identity the
+  // specialized decoder relies on.
+  for (int p : {5, 7, 11}) {
+    EvenOdd code(p);
+    constexpr std::size_t kBlock = 16;
+    Buffer buf(static_cast<std::size_t>(code.cell_count()) * kBlock);
+    StripeView v = StripeView::over(buf, code.rows(), code.cols(), kBlock);
+    Rng rng(static_cast<std::uint64_t>(p));
+    for (int r = 0; r < code.rows(); ++r) {
+      for (int c = 0; c < code.cols(); ++c) {
+        if (code.kind({r, c}) == CellKind::kData) {
+          auto blk = v.block({r, c});
+          rng.fill(blk.data(), blk.size());
+        }
+      }
+    }
+    code.encode(v);
+    Buffer s_direct(kBlock), s_derived(kBlock);
+    for (int j = 1; j <= p - 1; ++j) {
+      xor_into(s_direct.span(), v.block({p - 1 - j, j}));
+    }
+    for (int i = 0; i <= p - 2; ++i) {
+      xor_into(s_derived.span(), v.block({i, p}));
+      xor_into(s_derived.span(), v.block({i, p + 1}));
+    }
+    EXPECT_TRUE(s_direct == s_derived) << "p=" << p;
+  }
+}
+
+TEST(ChainSolverFuzz, MatchesBruteForceOnRandomSystems) {
+  // Random chain systems over few cells; compare solvability with a
+  // brute-force search over all assignments of the erased bits.
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int cells = 4 + static_cast<int>(rng.next_below(5));  // 4..8
+    const int nchains = 1 + static_cast<int>(rng.next_below(5));
+    std::vector<ChainSpec> chains(static_cast<std::size_t>(nchains));
+    for (auto& ch : chains) {
+      const int len = 2 + static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(cells - 1)));
+      std::set<int> members;
+      while (static_cast<int>(members.size()) < len) {
+        members.insert(static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(cells))));
+      }
+      ch.cells.assign(members.begin(), members.end());
+    }
+    // A random consistent 1-bit-per-cell assignment.
+    // Build: pick values for all cells, then force each chain to XOR to
+    // zero by construction — instead, sample until consistent (cheap at
+    // this size), or simply test the erasure-uniqueness property:
+    // solvable <=> no nonzero kernel vector supported on erased cells.
+    const int k = 1 + static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(cells)));
+    std::set<int> erased_set;
+    while (static_cast<int>(erased_set.size()) < k) {
+      erased_set.insert(static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(cells))));
+    }
+    const std::vector<int> erased(erased_set.begin(), erased_set.end());
+    const bool solver_says = solve_erasures(cells, chains, erased).has_value();
+    // Brute force: solvable iff no nonzero pattern x over the erased
+    // cells satisfies every chain's restriction (i.e. two different
+    // erased-cell assignments consistent with identical known cells).
+    bool ambiguous = false;
+    for (int mask = 1; mask < (1 << k) && !ambiguous; ++mask) {
+      bool in_kernel = true;
+      for (const ChainSpec& ch : chains) {
+        int parity = 0;
+        for (int cell : ch.cells) {
+          for (int i = 0; i < k; ++i) {
+            if (erased[static_cast<std::size_t>(i)] == cell &&
+                ((mask >> i) & 1)) {
+              parity ^= 1;
+            }
+          }
+        }
+        if (parity != 0) {
+          in_kernel = false;
+          break;
+        }
+      }
+      ambiguous = in_kernel;
+    }
+    EXPECT_EQ(solver_says, !ambiguous) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace c56

@@ -1,0 +1,227 @@
+// Tests for the analysis layer: figure sets, speedup tables (IV, V),
+// storage efficiency and the reliability model.
+
+#include <gtest/gtest.h>
+
+#include "analysis/reliability.hpp"
+#include "analysis/report.hpp"
+#include "analysis/risk.hpp"
+#include "analysis/speedup.hpp"
+
+namespace c56::ana {
+namespace {
+
+TEST(Report, FigureSetCoversEveryCodeOnce) {
+  const auto specs = figure_conversion_set(false);
+  int code56 = 0, via = 0, direct = 0;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(s.valid()) << s.label();
+    code56 += s.code == CodeId::kCode56;
+    via += s.approach != mig::Approach::kDirect;
+    direct += s.approach == mig::Approach::kDirect;
+  }
+  EXPECT_EQ(code56, 1);
+  EXPECT_EQ(via, 6);     // 3 horizontal codes x 2 two-step approaches
+  EXPECT_EQ(direct, 4);  // X-Code, P-Code, HDP, Code 5-6
+}
+
+TEST(Report, FamilySweepGrowsDisks) {
+  const auto specs =
+      family_sweep(CodeId::kCode56, mig::Approach::kDirect, false);
+  ASSERT_GE(specs.size(), 3u);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GT(specs[i].n(), specs[i - 1].n());
+  }
+}
+
+TEST(Report, ConversionTableHasOneRowPerSpec) {
+  std::ostringstream os;
+  const auto specs = figure_conversion_set(false);
+  conversion_table(specs, "metric",
+                   [](const mig::ConversionCosts& c) { return c.total_io; },
+                   false)
+      .print(os);
+  const std::string out = os.str();
+  std::size_t rows = 0;
+  for (char c : out) rows += c == '\n';
+  EXPECT_EQ(rows, specs.size() + 2);  // header + separator + rows
+}
+
+TEST(Speedup, Table4Nlb) {
+  const auto rows = table4(false);
+  ASSERT_FALSE(rows.empty());
+  // Paper Table IV: exactly one comparison at n=5 (X-Code), its
+  // reported speedup is 1.27; our disk-level model lands within 5%.
+  int n5 = 0;
+  for (const auto& e : rows) {
+    if (e.n == 5) {
+      ++n5;
+      EXPECT_EQ(e.other, CodeId::kXCode);
+      EXPECT_NEAR(e.speedup, 1.27, 0.07);
+    }
+    EXPECT_GT(e.speedup, 0.9) << to_string(e.other) << " n=" << e.n;
+  }
+  EXPECT_EQ(n5, 1);
+  // n=7 offers EVENODD and X-Code comparisons.
+  int n7 = 0;
+  for (const auto& e : rows) n7 += e.n == 7;
+  EXPECT_EQ(n7, 2);
+}
+
+TEST(Speedup, Table4LbCode56WinsEverywhere) {
+  for (const auto& e : table4(true)) {
+    EXPECT_GT(e.speedup, 1.0) << to_string(e.other) << " n=" << e.n;
+  }
+}
+
+TEST(Speedup, BestConversionPicksCheaperApproach) {
+  const auto best = best_conversion_for_n(CodeId::kRdp, 6, false);
+  ASSERT_TRUE(best.has_value());
+  const double t0 = mig::analyze(mig::ConversionSpec::canonical(
+                        CodeId::kRdp, mig::Approach::kViaRaid0, 5))
+                        .time;
+  const double t4 = mig::analyze(mig::ConversionSpec::canonical(
+                        CodeId::kRdp, mig::Approach::kViaRaid4, 5))
+                        .time;
+  EXPECT_NEAR(best->time, std::min(t0, t4), 1e-12);
+}
+
+TEST(Speedup, NoConversionForImpossibleN) {
+  // EVENODD at n=6 would need p=4 (not prime).
+  EXPECT_FALSE(best_conversion_for_n(CodeId::kEvenOdd, 6, false));
+  // HDP at n=5 would need p=6.
+  EXPECT_FALSE(best_conversion_for_n(CodeId::kHdp, 5, false));
+}
+
+TEST(SimSpeedup, Table5ShapeMatchesPaper) {
+  mig::TraceParams params;
+  params.total_data_blocks = 6000;
+  params.block_bytes = 4096;
+  const auto rows5 = table5(5, params);
+  ASSERT_EQ(rows5.size(), 4u);  // RDP, EVENODD, H-Code, X-Code
+  for (const auto& e : rows5) {
+    EXPECT_GT(e.speedup, 1.0) << to_string(e.other);
+    EXPECT_GT(e.code56_ms, 0.0);
+  }
+  // Section V-C claims higher speedup at larger p; in our simulator
+  // this holds for EVENODD while the others stay roughly flat (see
+  // EXPERIMENTS.md for the deviation discussion). Assert the robust
+  // parts: every code still loses to Code 5-6 at p=7, and the EVENODD
+  // gap widens.
+  const auto rows7 = table5(7, params);
+  for (const auto& e : rows7) {
+    EXPECT_GT(e.speedup, 1.0) << to_string(e.other);
+  }
+  auto speedup_of = [](const std::vector<SimSpeedupEntry>& rows, CodeId id) {
+    for (const auto& e : rows) {
+      if (e.other == id) return e.speedup;
+    }
+    return 0.0;
+  };
+  EXPECT_GT(speedup_of(rows7, CodeId::kEvenOdd),
+            speedup_of(rows5, CodeId::kEvenOdd));
+}
+
+TEST(SimSpeedup, SimulatedTimeScalesWithB) {
+  mig::TraceParams small, large;
+  small.total_data_blocks = 24000;
+  large.total_data_blocks = 48000;
+  const auto spec = mig::ConversionSpec::direct_code56(4, true);
+  const double t1 = simulate_conversion_ms(spec, small);
+  const double t2 = simulate_conversion_ms(spec, large);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.1);
+}
+
+TEST(Reliability, AfrTableMatchesPaper) {
+  const auto& t = paper_afr_table();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[0].afr, 0.017);
+  EXPECT_DOUBLE_EQ(t[1].afr, 0.081);  // the year-2 jump
+  EXPECT_DOUBLE_EQ(t[4].afr, 0.072);
+}
+
+TEST(Reliability, Raid6BeatsRaid5ByOrdersOfMagnitude) {
+  const double r5 = raid5_mttdl_hours(8, 0.05, 24.0);
+  const double r6 = raid6_mttdl_hours(8, 0.05, 24.0);
+  EXPECT_GT(r5, 0.0);
+  EXPECT_GT(r6 / r5, 100.0);
+}
+
+TEST(Reliability, MttdlDecreasesWithAfrAndDisks) {
+  EXPECT_GT(raid5_mttdl_hours(8, 0.017, 24.0),
+            raid5_mttdl_hours(8, 0.081, 24.0));
+  EXPECT_GT(raid5_mttdl_hours(4, 0.05, 24.0),
+            raid5_mttdl_hours(16, 0.05, 24.0));
+}
+
+TEST(Reliability, MatchesClosedFormApproximations) {
+  // For mu >> lambda: RAID-5 MTTDL ~ mu / (n(n-1) lambda^2).
+  const int n = 8;
+  const double lambda = lambda_per_hour(0.03);
+  const double mu = 1.0 / 12.0;
+  const double exact = mttdl_hours(n, 1, lambda, mu);
+  const double approx = mu / (n * (n - 1) * lambda * lambda);
+  EXPECT_NEAR(exact / approx, 1.0, 0.05);
+  // RAID-6: ~ mu^2 / (n(n-1)(n-2) lambda^3).
+  const double exact6 = mttdl_hours(n, 2, lambda, mu);
+  const double approx6 = mu * mu / (n * (n - 1) * (n - 2) * lambda * lambda * lambda);
+  EXPECT_NEAR(exact6 / approx6, 1.0, 0.05);
+}
+
+TEST(ConversionRisk, Table6Ordering) {
+  // Via-RAID-0 tolerates nothing during its window; everything else
+  // keeps single-failure protection.
+  const double b = 600'000, te = 8.5, afr = 0.081;
+  const auto via0 = conversion_window_risk(
+      mig::ConversionSpec::canonical(CodeId::kRdp,
+                                     mig::Approach::kViaRaid0, 5),
+      b, te, afr);
+  const auto via4 = conversion_window_risk(
+      mig::ConversionSpec::canonical(CodeId::kRdp,
+                                     mig::Approach::kViaRaid4, 5),
+      b, te, afr);
+  const auto direct =
+      conversion_window_risk(mig::ConversionSpec::direct_code56(4), b, te,
+                             afr);
+  EXPECT_EQ(via0.tolerated, 0);
+  EXPECT_EQ(via4.tolerated, 1);
+  EXPECT_EQ(direct.tolerated, 1);
+  // Zero tolerance costs orders of magnitude of loss probability even
+  // though the via-RAID-0 window is shorter.
+  EXPECT_GT(via0.loss_probability, 1000 * via4.loss_probability);
+  EXPECT_LT(direct.loss_probability, via4.loss_probability);
+  EXPECT_GT(direct.window_hours, 0.0);
+}
+
+TEST(ConversionRisk, ScalesWithWindowAndAfr) {
+  const auto spec = mig::ConversionSpec::direct_code56(4);
+  const auto small = conversion_window_risk(spec, 1e5, 8.5, 0.02);
+  const auto big_b = conversion_window_risk(spec, 1e6, 8.5, 0.02);
+  const auto big_afr = conversion_window_risk(spec, 1e5, 8.5, 0.08);
+  EXPECT_GT(big_b.loss_probability, small.loss_probability);
+  EXPECT_GT(big_afr.loss_probability, small.loss_probability);
+  EXPECT_NEAR(big_b.window_hours / small.window_hours, 10.0, 1e-6);
+}
+
+TEST(ConversionRisk, RatingsMatchTable6) {
+  EXPECT_STREQ(window_risk_rating(mig::ConversionSpec::direct_code56(4)),
+               "High (no risk on parity loss)");
+  EXPECT_STREQ(
+      window_risk_rating(mig::ConversionSpec::canonical(
+          CodeId::kXCode, mig::Approach::kDirect, 5)),
+      "High (old parity retained until done)");
+  EXPECT_STREQ(
+      window_risk_rating(mig::ConversionSpec::canonical(
+          CodeId::kEvenOdd, mig::Approach::kViaRaid0, 5)),
+      "Low (no fault tolerance in RAID-0)");
+}
+
+TEST(Reliability, RejectsBadParameters) {
+  EXPECT_THROW(mttdl_hours(0, 1, 1e-5, 0.1), std::invalid_argument);
+  EXPECT_THROW(mttdl_hours(4, 4, 1e-5, 0.1), std::invalid_argument);
+  EXPECT_THROW(mttdl_hours(4, -1, 1e-5, 0.1), std::invalid_argument);
+  EXPECT_THROW(mttdl_hours(4, 1, 0.0, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace c56::ana

@@ -1,0 +1,216 @@
+// Validates the Section V cost model against every number the paper
+// states explicitly, plus internal consistency across approaches.
+
+#include <gtest/gtest.h>
+
+#include "migration/cost_model.hpp"
+
+namespace c56::mig {
+namespace {
+
+ConversionCosts costs(CodeId code, Approach a, int p, bool lb = false) {
+  return analyze(ConversionSpec::canonical(code, a, p, lb));
+}
+
+TEST(Spec, LabelsMatchPaperNotation) {
+  EXPECT_EQ(ConversionSpec::direct_code56(4).label(),
+            "RAID-5->RAID-6(Code 5-6,4,5)");
+  EXPECT_EQ(
+      ConversionSpec::canonical(CodeId::kRdp, Approach::kViaRaid0, 5).label(),
+      "RAID-5->RAID-0->RAID-6(RDP,4,6)");
+}
+
+TEST(Spec, ValidityRules) {
+  // Two-step approaches need a horizontal code.
+  ConversionSpec s;
+  s.code = CodeId::kXCode;
+  s.approach = Approach::kViaRaid4;
+  s.p = 5;
+  s.m = 5;
+  EXPECT_FALSE(s.valid());
+  EXPECT_THROW(analyze(s), std::invalid_argument);
+  // Direct conversion of a horizontal code is not meaningful either.
+  s.code = CodeId::kRdp;
+  s.approach = Approach::kDirect;
+  s.m = 4;
+  EXPECT_FALSE(s.valid());
+  // Code 5-6 takes any m >= 2 with the matching prime.
+  EXPECT_TRUE(ConversionSpec::direct_code56(2).valid());
+  EXPECT_TRUE(ConversionSpec::direct_code56(9).valid());
+}
+
+TEST(CostModel, PaperWorkedExampleCode56) {
+  // Section V-A: RAID-5->RAID-6(Code 5-6,4,5): invalid = migration =
+  // extra space = 0, new parity ratio 1/3, write I/Os B/3, total 4B/3,
+  // computation 2B/3, time B*Te/3.
+  const ConversionCosts c = analyze(ConversionSpec::direct_code56(4));
+  EXPECT_DOUBLE_EQ(c.invalid_parity_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(c.parity_migration_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(c.extra_space_ratio, 0.0);
+  EXPECT_NEAR(c.new_parity_generation_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.write_io, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.read_io, 1.0, 1e-12);
+  EXPECT_NEAR(c.total_io, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.xor_per_block, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.time, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CostModel, Code56GeneralFormulas) {
+  // new parity ratio = 1/(p-2), reads = B, writes = B/(p-2),
+  // XORs = (p-3)/(p-2) per data block, time = B*Te/(p-2) (NLB).
+  for (int p : {5, 7, 11, 13, 17}) {
+    const ConversionCosts c =
+        analyze(ConversionSpec::direct_code56(p - 1));
+    EXPECT_NEAR(c.new_parity_generation_ratio, 1.0 / (p - 2), 1e-12);
+    EXPECT_NEAR(c.read_io, 1.0, 1e-12);
+    EXPECT_NEAR(c.xor_per_block, static_cast<double>(p - 3) / (p - 2), 1e-12);
+    EXPECT_NEAR(c.time, 1.0 / (p - 2), 1e-12);
+  }
+}
+
+TEST(CostModel, Figure1aViaRaid0Rdp) {
+  // Fig. 1(a): 12 data, 4 invalidated old parities, 8 new parities:
+  // write I/Os = (8+4)/12 = B.
+  const ConversionCosts c = costs(CodeId::kRdp, Approach::kViaRaid0, 5);
+  EXPECT_NEAR(c.invalid_parity_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.new_parity_generation_ratio, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.write_io, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.parity_migration_ratio, 0.0);
+}
+
+TEST(CostModel, Figure1bViaRaid4Rdp) {
+  // Fig. 1(b): old parities migrate (B/3), only diagonals generated.
+  const ConversionCosts c = costs(CodeId::kRdp, Approach::kViaRaid4, 5);
+  EXPECT_DOUBLE_EQ(c.invalid_parity_ratio, 0.0);
+  EXPECT_NEAR(c.parity_migration_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.new_parity_generation_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_LT(c.write_io, costs(CodeId::kRdp, Approach::kViaRaid0, 5).write_io);
+}
+
+TEST(CostModel, Figure1cXCodeExtraSpace) {
+  // Fig. 1(c): "40% capacity of each disk is reserved" at p = 5.
+  const ConversionCosts c = costs(CodeId::kXCode, Approach::kDirect, 5);
+  EXPECT_NEAR(c.extra_space_ratio, 0.4, 1e-12);
+  EXPECT_NEAR(c.invalid_parity_ratio, 0.25, 1e-12);  // 3 of 12 data blocks
+  const ConversionCosts c7 = costs(CodeId::kXCode, Approach::kDirect, 7);
+  EXPECT_NEAR(c7.extra_space_ratio, 2.0 / 7.0, 1e-12);
+}
+
+TEST(CostModel, ExtraSpaceByCodeFamily) {
+  EXPECT_NEAR(costs(CodeId::kPCode, Approach::kDirect, 7).extra_space_ratio,
+              1.0 / 3.0, 1e-12);  // one parity row of (p-1)/2
+  EXPECT_NEAR(costs(CodeId::kHdp, Approach::kDirect, 7).extra_space_ratio,
+              1.0 / 6.0, 1e-12);  // one anti-diagonal cell per p-1 rows
+  EXPECT_DOUBLE_EQ(
+      costs(CodeId::kEvenOdd, Approach::kViaRaid0, 5).extra_space_ratio, 0.0);
+  EXPECT_GT(costs(CodeId::kHCode, Approach::kViaRaid4, 5).extra_space_ratio,
+            0.0);
+}
+
+TEST(CostModel, Code56HasLowestTotalIoInFigureSet) {
+  const double mine = analyze(ConversionSpec::direct_code56(4)).total_io;
+  for (CodeId code : {CodeId::kRdp, CodeId::kEvenOdd, CodeId::kHCode}) {
+    for (Approach a : {Approach::kViaRaid0, Approach::kViaRaid4}) {
+      EXPECT_GT(costs(code, a, 5).total_io, mine) << to_string(code);
+    }
+  }
+  EXPECT_GT(costs(CodeId::kXCode, Approach::kDirect, 5).total_io, mine);
+  EXPECT_GT(costs(CodeId::kPCode, Approach::kDirect, 7).total_io, mine);
+  EXPECT_GT(costs(CodeId::kHdp, Approach::kDirect, 7).total_io, mine);
+}
+
+TEST(CostModel, LoadBalancingNeverSlower) {
+  for (CodeId code : all_code_ids()) {
+    for (Approach a :
+         {Approach::kViaRaid0, Approach::kViaRaid4, Approach::kDirect}) {
+      for (int p : {5, 7, 13}) {
+        ConversionSpec nlb;
+        try {
+          nlb = ConversionSpec::canonical(code, a, p, false);
+        } catch (const std::invalid_argument&) {
+          continue;
+        }
+        ConversionSpec lb = nlb;
+        lb.load_balanced = true;
+        EXPECT_LE(analyze(lb).time, analyze(nlb).time + 1e-12)
+            << nlb.label();
+      }
+    }
+  }
+}
+
+TEST(CostModel, TimeBoundedByTotalIoOverDisksAndBusiest) {
+  for (const bool lb : {false, true}) {
+    for (int p : {5, 7, 11}) {
+      const ConversionCosts c = analyze(ConversionSpec::direct_code56(
+          p - 1, lb));
+      EXPECT_GE(c.time, c.total_io / c.spec.n() - 1e-12);
+      EXPECT_LE(c.time, c.total_io + 1e-12);
+    }
+  }
+}
+
+TEST(CostModel, PhaseBreakdownSumsToTotals) {
+  for (CodeId code : {CodeId::kRdp, CodeId::kEvenOdd, CodeId::kHCode}) {
+    for (Approach a : {Approach::kViaRaid0, Approach::kViaRaid4}) {
+      const ConversionCosts c = costs(code, a, 7);
+      ASSERT_EQ(c.phases.size(), 2u);
+      double reads = 0, writes = 0, xors = 0;
+      for (const PhaseCost& ph : c.phases) {
+        reads += ph.reads();
+        writes += ph.writes();
+        xors += ph.xors;
+      }
+      EXPECT_NEAR(reads, c.read_io, 1e-12);
+      EXPECT_NEAR(writes, c.write_io, 1e-12);
+      EXPECT_NEAR(xors, c.xor_per_block, 1e-12);
+    }
+  }
+}
+
+TEST(CostModel, ViaRaid4MigrationWritesLandOnParityDisk) {
+  const ConversionCosts c = costs(CodeId::kRdp, Approach::kViaRaid4, 5);
+  const PhaseCost& ph1 = c.phases[0];
+  // All migration writes on column p-1 (the dedicated row-parity disk).
+  for (std::size_t d = 0; d < ph1.disk_writes.size(); ++d) {
+    if (d == 4) {
+      EXPECT_NEAR(ph1.disk_writes[d], 1.0 / 3.0, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(ph1.disk_writes[d], 0.0);
+    }
+  }
+}
+
+TEST(CostModel, VirtualDiskConversionsAnalyzable) {
+  for (int m = 2; m <= 16; ++m) {
+    const ConversionCosts c = analyze(ConversionSpec::direct_code56(m));
+    EXPECT_GT(c.new_parity_generation_ratio, 0.0) << m;
+    EXPECT_GT(c.time, 0.0) << m;
+    EXPECT_DOUBLE_EQ(c.invalid_parity_ratio, 0.0) << m;
+    // Virtual-disk variants generate p-1 parities per m(m-1) data.
+    const int p = c.spec.p;
+    EXPECT_NEAR(c.new_parity_generation_ratio,
+                static_cast<double>(p - 1) / (m * (m - 1)), 1e-12)
+        << m;
+  }
+}
+
+TEST(CostModel, DataBlocksPerStripeMatchesGeometry) {
+  EXPECT_NEAR(data_blocks_per_stripe(ConversionSpec::direct_code56(4)), 12.0,
+              1e-12);
+  EXPECT_NEAR(data_blocks_per_stripe(
+                  ConversionSpec::canonical(CodeId::kRdp,
+                                            Approach::kViaRaid0, 5)),
+              12.0, 1e-12);
+  EXPECT_NEAR(data_blocks_per_stripe(
+                  ConversionSpec::canonical(CodeId::kXCode,
+                                            Approach::kDirect, 5)),
+              12.0, 1e-12);
+  EXPECT_NEAR(data_blocks_per_stripe(
+                  ConversionSpec::canonical(CodeId::kEvenOdd,
+                                            Approach::kViaRaid0, 5)),
+              16.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace c56::mig

@@ -1,0 +1,152 @@
+// Framework-level tests for the ErasureCode base class machinery:
+// expanded chains, decoder-path equivalence (peeling vs generic), and
+// the I/O accounting contracts the benchmarks rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "codes/registry.hpp"
+#include "util/rng.hpp"
+#include "xorblk/buffer.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+namespace {
+
+constexpr std::size_t kBlock = 16;
+
+Buffer make_encoded(const ErasureCode& code, std::uint64_t seed) {
+  Buffer buf(static_cast<std::size_t>(code.cell_count()) * kBlock);
+  StripeView v = StripeView::over(buf, code.rows(), code.cols(), kBlock);
+  Rng rng(seed);
+  for (int r = 0; r < code.rows(); ++r) {
+    for (int c = 0; c < code.cols(); ++c) {
+      if (code.kind({r, c}) == CellKind::kData) {
+        auto blk = v.block({r, c});
+        rng.fill(blk.data(), blk.size());
+      }
+    }
+  }
+  code.encode(v);
+  return buf;
+}
+
+struct Param {
+  CodeId id;
+  int p;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string n = to_string(info.param.id);
+  for (char& c : n) {
+    if (c == ' ' || c == '-') c = '_';
+  }
+  return n + "_p" + std::to_string(info.param.p);
+}
+
+class FrameworkTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override { code_ = make_code(GetParam().id, GetParam().p); }
+  std::unique_ptr<ErasureCode> code_;
+};
+
+TEST_P(FrameworkTest, ExpandedChainsContainOnlyDataCells) {
+  for (const ParityChain& ch : code_->expanded_chains()) {
+    for (Cell in : ch.inputs) {
+      EXPECT_EQ(code_->kind(in), CellKind::kData)
+          << code_->name() << " parity (" << ch.parity.row << ","
+          << ch.parity.col << ")";
+    }
+  }
+}
+
+TEST_P(FrameworkTest, ExpandedChainsEvaluateToTheStoredParity) {
+  // Each parity must equal the XOR of its expanded (data-only) inputs
+  // on a real encoded stripe.
+  Buffer buf = make_encoded(*code_, 31);
+  StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), kBlock);
+  Buffer acc(kBlock);
+  for (const ParityChain& ch : code_->expanded_chains()) {
+    acc.zero();
+    for (Cell in : ch.inputs) xor_into(acc.span(), v.block(in));
+    EXPECT_TRUE(std::ranges::equal(acc.span(), v.block(ch.parity)))
+        << code_->name() << " parity (" << ch.parity.row << ","
+        << ch.parity.col << ")";
+  }
+}
+
+TEST_P(FrameworkTest, ExpandedAndDirectChainsAgreeInCount) {
+  EXPECT_EQ(code_->chains().size(), code_->expanded_chains().size());
+  for (std::size_t i = 0; i < code_->chains().size(); ++i) {
+    EXPECT_EQ(code_->chains()[i].parity, code_->expanded_chains()[i].parity);
+  }
+}
+
+TEST_P(FrameworkTest, PeelingAndGenericDecodersAgreeOnResults) {
+  Buffer original = make_encoded(*code_, 77);
+  for (int f1 = 0; f1 < code_->cols(); ++f1) {
+    for (int f2 = f1 + 1; f2 < code_->cols(); ++f2) {
+      Buffer a = original, b = original;
+      StripeView va =
+          StripeView::over(a, code_->rows(), code_->cols(), kBlock);
+      StripeView vb =
+          StripeView::over(b, code_->rows(), code_->cols(), kBlock);
+      const std::vector<int> cols{f1, f2};
+      Rng junk(static_cast<std::uint64_t>(f1 * 31 + f2));
+      for (int c : cols) {
+        for (int r = 0; r < code_->rows(); ++r) {
+          junk.fill(va.block({r, c}).data(), kBlock);
+          junk.fill(vb.block({r, c}).data(), kBlock);
+        }
+      }
+      ASSERT_TRUE(code_->decode_columns(va, cols).has_value());
+      ASSERT_TRUE(code_->decode_columns_generic(vb, cols).has_value());
+      EXPECT_TRUE(a == original) << f1 << "," << f2;
+      EXPECT_TRUE(b == original) << f1 << "," << f2;
+    }
+  }
+}
+
+TEST_P(FrameworkTest, DecoderReadsAreBoundedBySurvivors) {
+  Buffer buf = make_encoded(*code_, 5);
+  StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), kBlock);
+  const std::vector<int> cols{0, code_->cols() - 1};
+  const auto stats = code_->decode_columns(v, cols);
+  ASSERT_TRUE(stats.has_value());
+  const auto survivors = static_cast<std::size_t>(
+      code_->cell_count() - code_->virtual_cell_count() -
+      static_cast<int>(code_->erased_cells_of_columns(cols).size()));
+  EXPECT_LE(stats->cells_read, survivors);
+  // Peeling XORs at most one full chain per recovered cell.
+  std::size_t longest = 0;
+  for (const ParityChain& ch : code_->chains()) {
+    longest = std::max(longest, ch.inputs.size() + 1);
+  }
+  EXPECT_LE(stats->xor_ops,
+            code_->erased_cells_of_columns(cols).size() * longest);
+}
+
+TEST_P(FrameworkTest, VerifyRejectsEveryParityCorruption) {
+  Buffer buf = make_encoded(*code_, 9);
+  StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), kBlock);
+  for (const ParityChain& ch : code_->chains()) {
+    v.block(ch.parity)[0] ^= 0x80;
+    EXPECT_FALSE(code_->verify(v));
+    v.block(ch.parity)[0] ^= 0x80;
+  }
+  EXPECT_TRUE(code_->verify(v));
+}
+
+std::vector<Param> all_params() {
+  std::vector<Param> out;
+  for (CodeId id : all_code_ids()) out.push_back({id, 7});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, FrameworkTest,
+                         ::testing::ValuesIn(all_params()), param_name);
+
+}  // namespace
+}  // namespace c56

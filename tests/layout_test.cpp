@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/geometry.hpp"
+#include "layout/raid.hpp"
+#include "layout/stripe.hpp"
+
+namespace c56 {
+namespace {
+
+TEST(Geometry, FlatIndexRoundTrip) {
+  const int cols = 7;
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int idx = flat_index({r, c}, cols);
+      EXPECT_EQ(cell_of_index(idx, cols), (Cell{r, c}));
+    }
+  }
+}
+
+class Raid5FlavorTest : public ::testing::TestWithParam<Raid5Flavor> {};
+
+TEST_P(Raid5FlavorTest, RowIsPermutationOfDisks) {
+  const Raid5Flavor f = GetParam();
+  for (int m : {3, 4, 5, 8}) {
+    for (int row = 0; row < 3 * m; ++row) {
+      std::set<int> used{raid5_parity_disk(f, row, m)};
+      for (int k = 0; k < m - 1; ++k) {
+        const int d = raid5_data_disk(f, row, k, m);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, m);
+        EXPECT_TRUE(used.insert(d).second)
+            << "duplicate disk " << d << " flavor=" << to_string(f);
+      }
+      EXPECT_EQ(used.size(), static_cast<std::size_t>(m));
+    }
+  }
+}
+
+TEST_P(Raid5FlavorTest, ParityRotatesOverEveryDisk) {
+  const Raid5Flavor f = GetParam();
+  const int m = 5;
+  std::set<int> disks;
+  for (int row = 0; row < m; ++row) disks.insert(raid5_parity_disk(f, row, m));
+  EXPECT_EQ(disks.size(), static_cast<std::size_t>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, Raid5FlavorTest,
+                         ::testing::Values(Raid5Flavor::kLeftAsymmetric,
+                                           Raid5Flavor::kLeftSymmetric,
+                                           Raid5Flavor::kRightAsymmetric,
+                                           Raid5Flavor::kRightSymmetric));
+
+TEST(Raid5, LeftAsymmetricMatchesPaperFigure) {
+  // Left-asymmetric m=4: parity on disks 3,2,1,0 for rows 0..3 and data
+  // fills the remaining disks left to right.
+  const auto f = Raid5Flavor::kLeftAsymmetric;
+  EXPECT_EQ(raid5_parity_disk(f, 0, 4), 3);
+  EXPECT_EQ(raid5_parity_disk(f, 1, 4), 2);
+  EXPECT_EQ(raid5_parity_disk(f, 2, 4), 1);
+  EXPECT_EQ(raid5_parity_disk(f, 3, 4), 0);
+  EXPECT_EQ(raid5_parity_disk(f, 4, 4), 3);  // period m
+  EXPECT_EQ(raid5_data_disk(f, 1, 0, 4), 0);
+  EXPECT_EQ(raid5_data_disk(f, 1, 1, 4), 1);
+  EXPECT_EQ(raid5_data_disk(f, 1, 2, 4), 3);  // skips parity disk 2
+}
+
+TEST(Raid5, RightAsymmetricParityWalksForward) {
+  const auto f = Raid5Flavor::kRightAsymmetric;
+  EXPECT_EQ(raid5_parity_disk(f, 0, 4), 0);
+  EXPECT_EQ(raid5_parity_disk(f, 1, 4), 1);
+  EXPECT_EQ(raid5_data_disk(f, 0, 0, 4), 1);
+}
+
+TEST(Raid5, LeftSymmetricDataFollowsParity) {
+  const auto f = Raid5Flavor::kLeftSymmetric;
+  // Row 0: parity disk 3; data starts at disk 0 ((3+1) mod 4).
+  EXPECT_EQ(raid5_data_disk(f, 0, 0, 4), 0);
+  // Row 1: parity disk 2; data on 3, 0, 1.
+  EXPECT_EQ(raid5_data_disk(f, 1, 0, 4), 3);
+  EXPECT_EQ(raid5_data_disk(f, 1, 1, 4), 0);
+  EXPECT_EQ(raid5_data_disk(f, 1, 2, 4), 1);
+}
+
+TEST(Raid04, Basics) {
+  EXPECT_EQ(raid0_data_disk(9, 2, 5), 2);
+  EXPECT_EQ(raid4_parity_disk(6), 5);
+}
+
+TEST(StripeView, BlockAddressing) {
+  Buffer buf(3 * 4 * 8);
+  StripeView v = StripeView::over(buf, 3, 4, 8);
+  v.block({2, 1})[0] = 0x42;
+  EXPECT_EQ(buf.data()[(2 * 4 + 1) * 8], 0x42);
+  EXPECT_EQ(v.block(flat_index({2, 1}, 4))[0], 0x42);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v.cols(), 4);
+  EXPECT_EQ(v.block_size(), 8u);
+}
+
+}  // namespace
+}  // namespace c56

@@ -1,0 +1,193 @@
+// Cross-validation of the concrete planner against the closed-form
+// cost model, and of the trace generator against both.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "migration/plan.hpp"
+#include "migration/trace_gen.hpp"
+
+namespace c56::mig {
+namespace {
+
+struct Param {
+  ConversionSpec spec;
+};
+
+std::vector<Param> specs() {
+  std::vector<Param> out;
+  for (CodeId code : {CodeId::kRdp, CodeId::kEvenOdd, CodeId::kHCode}) {
+    out.push_back({ConversionSpec::canonical(code, Approach::kViaRaid0, 5)});
+    out.push_back({ConversionSpec::canonical(code, Approach::kViaRaid4, 7)});
+  }
+  out.push_back({ConversionSpec::canonical(CodeId::kXCode, Approach::kDirect, 5)});
+  out.push_back({ConversionSpec::canonical(CodeId::kPCode, Approach::kDirect, 7)});
+  out.push_back({ConversionSpec::canonical(CodeId::kHdp, Approach::kDirect, 7)});
+  out.push_back({ConversionSpec::direct_code56(4)});
+  out.push_back({ConversionSpec::direct_code56(6)});  // virtual disk
+  return out;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string n = info.param.spec.label();
+  std::string clean;
+  for (char c : n) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      clean += c;
+    } else {
+      clean += '_';
+    }
+  }
+  return clean;
+}
+
+class PlanVsModel : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PlanVsModel, OpCountsConvergeToCostModelRatios) {
+  const ConversionSpec& spec = GetParam().spec;
+  // The closed-form model assumes single-pass streaming reads.
+  const ConversionPlanner planner(spec, Raid5Flavor::kLeftAsymmetric,
+                                  PassPolicy::kSinglePass);
+  const ConversionCosts model = analyze(spec);
+  const double b = data_blocks_per_stripe(spec);
+
+  constexpr std::int64_t kGroups = 240;  // multiple of every rotation
+  double reads = 0, writes = 0;
+  for (std::int64_t g = 0; g < kGroups; ++g) {
+    for (const auto& ph : planner.ops_for_group(g)) {
+      reads += static_cast<double>(ph.reads());
+      writes += static_cast<double>(ph.writes());
+    }
+  }
+  const double denom = b * kGroups;
+  // Tolerance: the model spreads holes uniformly over each row, while
+  // the concrete rotation can anti-correlate with a code's unprotected
+  // diagonal (e.g. RDP via RAID-4 at p=7 deviates by ~1/36).
+  EXPECT_NEAR(reads / denom, model.read_io, 0.035) << spec.label();
+  EXPECT_NEAR(writes / denom, model.write_io, 1e-9) << spec.label();
+}
+
+TEST_P(PlanVsModel, PhaseCountMatchesApproach) {
+  const ConversionSpec& spec = GetParam().spec;
+  const ConversionPlanner planner(spec);
+  const int expected = spec.approach == Approach::kDirect ? 1 : 2;
+  EXPECT_EQ(planner.phase_count(), expected);
+  EXPECT_EQ(planner.ops_for_group(0).size(),
+            static_cast<std::size_t>(expected));
+}
+
+TEST_P(PlanVsModel, TraceRequestCountsMatchPlan) {
+  const ConversionSpec& spec = GetParam().spec;
+  const ConversionPlanner planner(spec);
+  TraceParams params;
+  params.total_data_blocks = 3000;
+  params.block_bytes = 4096;
+  const sim::Trace trace = make_conversion_trace(planner, params);
+
+  std::size_t plan_reads = 0, plan_writes = 0;
+  const double b = data_blocks_per_stripe(spec);
+  const std::int64_t groups = static_cast<std::int64_t>(
+      std::ceil(params.total_data_blocks / b));
+  for (std::int64_t g = 0; g < groups; ++g) {
+    for (const auto& ph : planner.ops_for_group(g)) {
+      plan_reads += ph.reads();
+      plan_writes += ph.writes();
+    }
+  }
+  EXPECT_EQ(trace.total_reads(), plan_reads);
+  EXPECT_EQ(trace.total_writes(), plan_writes);
+}
+
+TEST_P(PlanVsModel, TraceDisksWithinBounds) {
+  const ConversionSpec& spec = GetParam().spec;
+  for (bool lb : {false, true}) {
+    ConversionSpec s = spec;
+    s.load_balanced = lb;
+    const ConversionPlanner planner(s);
+    TraceParams params;
+    params.total_data_blocks = 500;
+    const sim::Trace trace = make_conversion_trace(planner, params);
+    for (const auto& ph : trace.phases) {
+      for (const auto& r : ph.requests) {
+        EXPECT_GE(r.disk, 0);
+        EXPECT_LT(r.disk, s.n());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Conversions, PlanVsModel,
+                         ::testing::ValuesIn(specs()), param_name);
+
+TEST(Plan, HoleRotatesOverOriginalDisks) {
+  const ConversionPlanner planner(
+      ConversionSpec::canonical(CodeId::kRdp, Approach::kViaRaid0, 5));
+  std::set<int> seen;
+  for (int r = 0; r < 4; ++r) seen.insert(planner.hole_col(0, r));
+  EXPECT_EQ(seen.size(), 4u);  // left-asymmetric: one parity per disk
+}
+
+TEST(Plan, ReuseLayoutsHaveNoHoles) {
+  const ConversionPlanner planner(ConversionSpec::direct_code56(4));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(planner.hole_col(0, r), -1);
+}
+
+TEST(Plan, Code56GroupOpsMatchPaperExample) {
+  // One group: 12 reads (every data block once) + 4 diagonal writes.
+  const ConversionPlanner planner(ConversionSpec::direct_code56(4));
+  const auto ops = planner.ops_for_group(17);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].reads(), 12u);
+  EXPECT_EQ(ops[0].writes(), 4u);
+}
+
+TEST(TraceGen, LoadBalancingRotatesParityWrites) {
+  const ConversionPlanner planner(ConversionSpec::direct_code56(4, true));
+  TraceParams params;
+  params.total_data_blocks = 12 * 50;  // 50 groups
+  const sim::Trace trace = make_conversion_trace(planner, params);
+  std::map<int, std::size_t> writes_per_disk;
+  for (const auto& ph : trace.phases) {
+    for (const auto& r : ph.requests) {
+      if (r.op == sim::Op::kWrite) ++writes_per_disk[r.disk];
+    }
+  }
+  // Every one of the 5 disks receives parity writes under LB.
+  EXPECT_EQ(writes_per_disk.size(), 5u);
+}
+
+TEST(TraceGen, WithoutLbWritesConcentrateOnNewDisk) {
+  const ConversionPlanner planner(ConversionSpec::direct_code56(4, false));
+  TraceParams params;
+  params.total_data_blocks = 12 * 10;
+  const sim::Trace trace = make_conversion_trace(planner, params);
+  for (const auto& ph : trace.phases) {
+    for (const auto& r : ph.requests) {
+      if (r.op == sim::Op::kWrite) {
+        EXPECT_EQ(r.disk, 4);
+      }
+    }
+  }
+}
+
+TEST(TraceGen, VirtualColumnsNeverAppear) {
+  const ConversionPlanner planner(ConversionSpec::direct_code56(6));
+  EXPECT_EQ(planner.spec().virtual_disks(), 0);  // m=6 -> p=7, v=0
+  const ConversionPlanner planner5(ConversionSpec::direct_code56(5));
+  EXPECT_EQ(planner5.spec().virtual_disks(), 1);
+  TraceParams params;
+  params.total_data_blocks = 1000;
+  const sim::Trace trace = make_conversion_trace(planner5, params);
+  for (const auto& ph : trace.phases) {
+    for (const auto& r : ph.requests) {
+      EXPECT_GE(r.disk, 0);
+      EXPECT_LT(r.disk, 6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c56::mig

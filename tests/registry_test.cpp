@@ -1,0 +1,115 @@
+// Registry metadata and factory tests, plus conversion-planner flavor
+// handling (the right-asymmetric sources of Fig. 7 / Section V-A).
+
+#include <gtest/gtest.h>
+
+#include "codes/code56.hpp"
+#include "codes/registry.hpp"
+#include "migration/plan.hpp"
+
+namespace c56 {
+namespace {
+
+TEST(Registry, AllCodesInstantiate) {
+  for (CodeId id : all_code_ids()) {
+    for (int p : {5, 7, 11}) {
+      auto code = make_code(id, p);
+      ASSERT_NE(code, nullptr);
+      EXPECT_EQ(code->p(), p);
+      EXPECT_EQ(code->cols(), disks_of(id, p)) << to_string(id);
+      EXPECT_FALSE(code->name().empty());
+    }
+  }
+}
+
+TEST(Registry, NonPrimeRejectedEverywhere) {
+  for (CodeId id : all_code_ids()) {
+    EXPECT_THROW(make_code(id, 9), std::invalid_argument) << to_string(id);
+    EXPECT_THROW(make_code(id, 4), std::invalid_argument) << to_string(id);
+  }
+}
+
+TEST(Registry, DisksAddedMatchesApproachSemantics) {
+  // Horizontal codes add two disks (row parity + diagonal), Code 5-6
+  // adds one, the in-place vertical codes add none.
+  EXPECT_EQ(disks_added_by_conversion(CodeId::kCode56), 1);
+  for (CodeId id : {CodeId::kRdp, CodeId::kEvenOdd, CodeId::kHCode}) {
+    EXPECT_EQ(disks_added_by_conversion(id), 2);
+    EXPECT_TRUE(is_horizontal_code(id));
+    EXPECT_FALSE(reuses_raid5_parity(id));
+  }
+  for (CodeId id : {CodeId::kXCode, CodeId::kPCode, CodeId::kHdp}) {
+    EXPECT_EQ(disks_added_by_conversion(id), 0);
+    EXPECT_FALSE(is_horizontal_code(id));
+  }
+  EXPECT_TRUE(reuses_raid5_parity(CodeId::kCode56));
+  EXPECT_TRUE(reuses_raid5_parity(CodeId::kHdp));
+}
+
+TEST(Registry, FigureOrderMatchesPaperListing) {
+  const auto ids = all_code_ids();
+  ASSERT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids.front(), CodeId::kEvenOdd);
+  EXPECT_EQ(ids.back(), CodeId::kCode56);
+}
+
+TEST(PlannerFlavor, HoleRotationFollowsTheSourceFlavor) {
+  using mig::Approach;
+  using mig::ConversionSpec;
+  const auto spec = ConversionSpec::canonical(CodeId::kRdp,
+                                              Approach::kViaRaid0, 5);
+  const mig::ConversionPlanner left(spec, Raid5Flavor::kLeftAsymmetric);
+  const mig::ConversionPlanner right(spec, Raid5Flavor::kRightAsymmetric);
+  // Row 0: left-asymmetric parity lives on the last original disk,
+  // right-asymmetric on the first.
+  EXPECT_EQ(left.hole_col(0, 0), 3);
+  EXPECT_EQ(right.hole_col(0, 0), 0);
+  // Both rotate over all original disks within one stripe.
+  std::set<int> l, r;
+  for (int row = 0; row < 4; ++row) {
+    l.insert(left.hole_col(0, row));
+    r.insert(right.hole_col(0, row));
+  }
+  EXPECT_EQ(l.size(), 4u);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(PlannerFlavor, OpCountsAreFlavorInvariant) {
+  using mig::Approach;
+  using mig::ConversionSpec;
+  const auto spec = ConversionSpec::canonical(CodeId::kEvenOdd,
+                                              Approach::kViaRaid4, 5);
+  const mig::ConversionPlanner a(spec, Raid5Flavor::kLeftAsymmetric);
+  const mig::ConversionPlanner b(spec, Raid5Flavor::kRightSymmetric);
+  std::size_t ra = 0, wa = 0, rb = 0, wb = 0;
+  for (std::int64_t g = 0; g < 20; ++g) {
+    for (const auto& ph : a.ops_for_group(g)) {
+      ra += ph.reads();
+      wa += ph.writes();
+    }
+    for (const auto& ph : b.ops_for_group(g)) {
+      rb += ph.reads();
+      wb += ph.writes();
+    }
+  }
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(wa, wb);
+}
+
+TEST(Code56Flavors, RightOrientationPairsWithRightRaid5) {
+  // The Fig. 7 mirror: a right-flavored RAID-5's parities land exactly
+  // on the mirrored code's horizontal-parity cells, so direct
+  // conversion reuses them just like the default layout does.
+  for (int p : {5, 7, 11, 13}) {
+    Code56 right(p, 0, Code56Orientation::kRight);
+    for (int row = 0; row < p - 1; ++row) {
+      const int parity_disk =
+          raid5_parity_disk(Raid5Flavor::kRightAsymmetric, row, p - 1);
+      EXPECT_EQ(right.kind({row, parity_disk}), CellKind::kRowParity)
+          << "p=" << p << " row=" << row;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace c56

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "sim/disk_model.hpp"
+#include "sim/event_sim.hpp"
+
+namespace c56::sim {
+namespace {
+
+TEST(DiskModel, SequentialSkipsSeek) {
+  DiskParams p;
+  p.avg_seek_ms = 5.0;
+  p.rpm = 7200;
+  p.transfer_mb_s = 100.0;
+  DiskModel d(p);
+  const double t1 = d.service_time_ms(0, 4096);
+  const double transfer = 4096.0 / (100.0 * 1e6) * 1e3;
+  EXPECT_NEAR(t1, 5.0 + p.avg_rotational_ms() + transfer, 1e-9);
+  // Next 8 sectors start where the previous request ended.
+  const double t2 = d.service_time_ms(8, 4096);
+  EXPECT_NEAR(t2, transfer, 1e-9);
+  // A long forward jump pays positioning again.
+  const double t3 = d.service_time_ms(100000, 4096);
+  EXPECT_NEAR(t3, t1, 1e-9);
+  // A backward jump does too.
+  const double t4 = d.service_time_ms(0, 4096);
+  EXPECT_NEAR(t4, t1, 1e-9);
+}
+
+TEST(DiskModel, ShortForwardSkipStaysOnTrack) {
+  DiskParams p;
+  p.transfer_mb_s = 100.0;
+  DiskModel d(p);
+  d.service_time_ms(0, 4096);  // position at sector 8
+  // Skipping one 4 KB block (8 sectors) costs pass-over + transfer.
+  const double t = d.service_time_ms(16, 4096);
+  const double transfer = 4096.0 / (100.0 * 1e6) * 1e3;
+  EXPECT_NEAR(t, 2 * transfer, 1e-9);
+  EXPECT_LT(t, p.avg_seek_ms);
+}
+
+TEST(DiskModel, RotationalLatencyFollowsRpm) {
+  DiskParams p;
+  p.rpm = 15000;
+  EXPECT_NEAR(p.avg_rotational_ms(), 2.0, 1e-9);
+  p.rpm = 7200;
+  EXPECT_NEAR(p.avg_rotational_ms(), 60.0 * 1000 / 7200 / 2, 1e-9);
+}
+
+TEST(DiskModel, ResetForgetsPosition) {
+  DiskModel d;
+  d.service_time_ms(0, 4096);
+  d.reset();
+  const double t = d.service_time_ms(8, 4096);
+  EXPECT_GT(t, 1.0);  // pays seek again
+}
+
+Trace one_phase(std::vector<Request> reqs) {
+  Trace t;
+  t.phases.push_back({"phase", std::move(reqs)});
+  return t;
+}
+
+TEST(ArraySimulator, SingleRequestMakespan) {
+  ArraySimulator sim(2);
+  const auto r = sim.run(one_phase({{0, 0, 4096, Op::kRead}}));
+  DiskModel ref;
+  EXPECT_NEAR(r.makespan_ms, ref.service_time_ms(0, 4096), 1e-9);
+  EXPECT_EQ(r.requests_served, 1u);
+}
+
+TEST(ArraySimulator, ParallelDisksOverlap) {
+  // The same work on one disk vs spread over four disks.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 16; ++i) {
+    // Gaps beyond the on-track skip window, so every access seeks.
+    reqs.push_back({0, static_cast<std::uint64_t>(i * 5000), 4096, Op::kRead});
+  }
+  ArraySimulator one(1);
+  const double serial = one.run(one_phase(reqs)).makespan_ms;
+
+  for (int i = 0; i < 16; ++i) reqs[static_cast<std::size_t>(i)].disk = i % 4;
+  ArraySimulator four(4);
+  const double parallel = four.run(one_phase(reqs)).makespan_ms;
+  EXPECT_NEAR(parallel, serial / 4.0, serial * 0.05);
+}
+
+TEST(ArraySimulator, PhasesAreSequential) {
+  const Request a{0, 0, 4096, Op::kRead};
+  const Request b{1, 0, 4096, Op::kRead};
+  Trace two;
+  two.phases.push_back({"p1", {a}});
+  two.phases.push_back({"p2", {b}});
+  ArraySimulator sim(2);
+  const auto r = sim.run(two);
+  // Disk 1's request cannot start before phase 1 ends even though the
+  // disk itself is idle.
+  Trace merged = one_phase({a, b});
+  ArraySimulator sim2(2);
+  const auto m = sim2.run(merged);
+  EXPECT_GT(r.makespan_ms, m.makespan_ms);
+  EXPECT_NEAR(r.makespan_ms, 2 * m.makespan_ms, 1e-6);
+  ASSERT_EQ(r.phase_end_ms.size(), 2u);
+  EXPECT_LT(r.phase_end_ms[0], r.phase_end_ms[1]);
+}
+
+TEST(ArraySimulator, SequentialStreamIsFasterThanRandom) {
+  std::vector<Request> seq, rnd;
+  for (int i = 0; i < 64; ++i) {
+    seq.push_back({0, static_cast<std::uint64_t>(i) * 8, 4096, Op::kRead});
+    rnd.push_back({0, static_cast<std::uint64_t>((i * 37) % 64) * 800, 4096,
+                   Op::kRead});
+  }
+  ArraySimulator s1(1), s2(1);
+  EXPECT_LT(s1.run(one_phase(seq)).makespan_ms,
+            s2.run(one_phase(rnd)).makespan_ms / 5.0);
+}
+
+TEST(ArraySimulator, DeterministicAcrossRuns) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 50; ++i) {
+    reqs.push_back({i % 3, static_cast<std::uint64_t>(i * 13), 8192,
+                    i % 2 ? Op::kWrite : Op::kRead});
+  }
+  ArraySimulator a(3), b(3);
+  EXPECT_EQ(a.run(one_phase(reqs)).makespan_ms,
+            b.run(one_phase(reqs)).makespan_ms);
+}
+
+TEST(ArraySimulator, BusyAccountingMatchesServiceTimes) {
+  std::vector<Request> reqs{{0, 0, 4096, Op::kRead},
+                            {0, 8, 4096, Op::kRead},
+                            {1, 0, 4096, Op::kWrite}};
+  ArraySimulator sim(2);
+  const auto r = sim.run(one_phase(reqs));
+  DiskModel ref;
+  const double d0 = ref.service_time_ms(0, 4096) + ref.service_time_ms(8, 4096);
+  EXPECT_NEAR(r.disk_busy_ms[0], d0, 1e-9);
+  EXPECT_EQ(r.requests_served, 3u);
+  EXPECT_NEAR(r.makespan_ms, d0, 1e-9);
+}
+
+TEST(ArraySimulator, RejectsUnknownDisk) {
+  ArraySimulator sim(2);
+  EXPECT_THROW(sim.run(one_phase({{5, 0, 4096, Op::kRead}})),
+               std::out_of_range);
+}
+
+TEST(TraceCounters, CountReadsAndWrites) {
+  Trace t;
+  t.phases.push_back({"a", {{0, 0, 1, Op::kRead}, {0, 0, 1, Op::kWrite}}});
+  t.phases.push_back({"b", {{0, 0, 1, Op::kWrite}}});
+  EXPECT_EQ(t.total_requests(), 3u);
+  EXPECT_EQ(t.total_reads(), 1u);
+  EXPECT_EQ(t.total_writes(), 2u);
+}
+
+}  // namespace
+}  // namespace c56::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/prime.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace c56 {
+namespace {
+
+TEST(Prime, SmallValues) {
+  EXPECT_FALSE(is_prime(-3));
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_TRUE(is_prime(7));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(11));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(97));
+}
+
+TEST(Prime, MatchesSieve) {
+  // Cross-check against a straightforward sieve.
+  constexpr int kLimit = 2000;
+  std::vector<bool> composite(kLimit, false);
+  for (int i = 2; i < kLimit; ++i) {
+    if (composite[static_cast<std::size_t>(i)]) continue;
+    for (int j = 2 * i; j < kLimit; j += i) {
+      composite[static_cast<std::size_t>(j)] = true;
+    }
+  }
+  for (int i = 0; i < kLimit; ++i) {
+    EXPECT_EQ(is_prime(i), i >= 2 && !composite[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(Prime, NextPrime) {
+  EXPECT_EQ(next_prime_above(0), 2);
+  EXPECT_EQ(next_prime_above(2), 3);
+  EXPECT_EQ(next_prime_above(3), 5);
+  EXPECT_EQ(next_prime_above(4), 5);   // m=4 RAID-5 -> p=5, v=0
+  EXPECT_EQ(next_prime_above(5), 7);   // m=5 -> p=7, v=1
+  EXPECT_EQ(next_prime_above(6), 7);
+  EXPECT_EQ(next_prime_above(13), 17);
+  EXPECT_EQ(next_prime_at_least(13), 13);
+  EXPECT_EQ(next_prime_at_least(14), 17);
+}
+
+TEST(Prime, PmodHandlesNegatives) {
+  EXPECT_EQ(pmod(-1, 5), 4);
+  EXPECT_EQ(pmod(-5, 5), 0);
+  EXPECT_EQ(pmod(-13, 5), 2);
+  EXPECT_EQ(pmod(13, 5), 3);
+  EXPECT_EQ(pmod(0, 7), 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, FillOddSizes) {
+  Rng r(3);
+  unsigned char buf[13] = {};
+  r.fill(buf, 13);
+  int nonzero = 0;
+  for (unsigned char b : buf) nonzero += b != 0;
+  EXPECT_GT(nonzero, 5);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"code", "ratio"});
+  t.add_row({"Code 5-6", TextTable::pct(1.0 / 3.0)});
+  t.add_row({"RDP", TextTable::pct(2.0 / 3.0)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Code 5-6"), std::string::npos);
+  EXPECT_NE(out.find("33.3%"), std::string::npos);
+  EXPECT_NE(out.find("66.7%"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace c56

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "xorblk/buffer.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+namespace {
+
+TEST(Xor, XorIntoMatchesByteLoop) {
+  Rng rng(1);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u, 4096u}) {
+    std::vector<std::uint8_t> a(n), b(n), expect(n);
+    rng.fill(a.data(), n);
+    rng.fill(b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) expect[i] = a[i] ^ b[i];
+    xor_into(a.data(), b.data(), n);
+    EXPECT_EQ(a, expect) << "n=" << n;
+  }
+}
+
+TEST(Xor, XorToThreeOperand) {
+  Rng rng(2);
+  std::vector<std::uint8_t> a(100), b(100), d(100);
+  rng.fill(a.data(), 100);
+  rng.fill(b.data(), 100);
+  xor_to(d.data(), a.data(), b.data(), 100);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(d[i], a[i] ^ b[i]);
+}
+
+TEST(Xor, XorToAliasesDestination) {
+  Rng rng(3);
+  std::vector<std::uint8_t> a(64), b(64), expect(64);
+  rng.fill(a.data(), 64);
+  rng.fill(b.data(), 64);
+  for (std::size_t i = 0; i < 64; ++i) expect[i] = a[i] ^ b[i];
+  xor_to(a.data(), a.data(), b.data(), 64);
+  EXPECT_EQ(a, expect);
+}
+
+TEST(Xor, SelfInverse) {
+  Rng rng(4);
+  std::vector<std::uint8_t> a(512), orig(512), b(512);
+  rng.fill(a.data(), 512);
+  rng.fill(b.data(), 512);
+  orig = a;
+  xor_into(a.data(), b.data(), 512);
+  xor_into(a.data(), b.data(), 512);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(Xor, AllZeroDetectsSingleBit) {
+  for (std::size_t n : {1u, 8u, 9u, 64u, 100u}) {
+    std::vector<std::uint8_t> z(n, 0);
+    EXPECT_TRUE(all_zero(z.data(), n));
+    for (std::size_t i : {std::size_t{0}, n / 2, n - 1}) {
+      z.assign(n, 0);
+      z[i] = 1;
+      EXPECT_FALSE(all_zero(z.data(), n)) << "n=" << n << " i=" << i;
+    }
+  }
+  EXPECT_TRUE(all_zero(nullptr, 0));
+}
+
+TEST(Buffer, ZeroInitialized) {
+  Buffer b(128);
+  EXPECT_TRUE(all_zero(b.span()));
+  EXPECT_EQ(b.size(), 128u);
+}
+
+TEST(Buffer, FillConstructor) {
+  Buffer b(16, 0xAB);
+  for (auto byte : b.span()) EXPECT_EQ(byte, 0xAB);
+}
+
+TEST(Buffer, CopyIsDeep) {
+  Buffer a(32, 0x11);
+  Buffer b = a;
+  b.data()[0] = 0x22;
+  EXPECT_EQ(a.data()[0], 0x11);
+  EXPECT_FALSE(a == b);
+  b.data()[0] = 0x11;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Buffer, BlockSubdivision) {
+  Buffer b(4 * 16);
+  b.block(2, 16)[0] = 7;
+  EXPECT_EQ(b.data()[32], 7);
+  EXPECT_EQ(b.block(2, 16).size(), 16u);
+}
+
+TEST(Buffer, MoveLeavesSourceReusable) {
+  Buffer a(8, 0x5A);
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.data()[3], 0x5A);
+}
+
+}  // namespace
+}  // namespace c56

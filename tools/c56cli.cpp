@@ -1,0 +1,251 @@
+// c56cli — command-line front end for the library.
+//
+//   c56cli layout  <code> <p>                  print a stripe layout map
+//   c56cli chains  <code> <p>                  dump every parity chain
+//   c56cli analyze [--lb]                      Section V metric survey
+//   c56cli convert <code> <approach> <p> [--lb] [--blocks N] [--kb N]
+//                                              analyze + simulate one route
+//   c56cli speedup [--lb]                      Table IV at n in {5,6,7}
+//   c56cli mttdl   <disks> <afr%> <repair_h>   Markov reliability numbers
+//
+// Codes: code56 rdp evenodd xcode pcode hcode hdp
+// Approaches: via-raid0 via-raid4 direct
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/reliability.hpp"
+#include "analysis/report.hpp"
+#include "analysis/risk.hpp"
+#include "analysis/speedup.hpp"
+#include "migration/trace_gen.hpp"
+#include "sim/event_sim.hpp"
+
+namespace {
+
+using namespace c56;
+
+std::optional<CodeId> parse_code(const std::string& s) {
+  if (s == "code56" || s == "code5-6") return CodeId::kCode56;
+  if (s == "rdp") return CodeId::kRdp;
+  if (s == "evenodd") return CodeId::kEvenOdd;
+  if (s == "xcode" || s == "x-code") return CodeId::kXCode;
+  if (s == "pcode" || s == "p-code") return CodeId::kPCode;
+  if (s == "hcode" || s == "h-code") return CodeId::kHCode;
+  if (s == "hdp") return CodeId::kHdp;
+  return std::nullopt;
+}
+
+std::optional<mig::Approach> parse_approach(const std::string& s) {
+  if (s == "via-raid0" || s == "raid0") return mig::Approach::kViaRaid0;
+  if (s == "via-raid4" || s == "raid4") return mig::Approach::kViaRaid4;
+  if (s == "direct") return mig::Approach::kDirect;
+  return std::nullopt;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+long long flag_value(int argc, char** argv, const char* flag,
+                     long long fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+char cell_glyph(const ErasureCode& code, Cell c) {
+  switch (code.kind(c)) {
+    case CellKind::kData: return '.';
+    case CellKind::kRowParity: return 'H';
+    case CellKind::kDiagParity: return 'D';
+    case CellKind::kAntiDiagParity: return 'A';
+    case CellKind::kVirtual: return '-';
+  }
+  return '?';
+}
+
+int cmd_layout(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: c56cli layout <code> <p>\n");
+    return 2;
+  }
+  const auto id = parse_code(argv[0]);
+  if (!id) {
+    std::fprintf(stderr, "unknown code '%s'\n", argv[0]);
+    return 2;
+  }
+  const auto code = make_code(*id, std::atoi(argv[1]));
+  std::printf("%s: %d rows x %d cols, %d data + %d parity cells\n\n",
+              code->name().c_str(), code->rows(), code->cols(),
+              code->data_cell_count(), code->parity_cell_count());
+  std::printf("      ");
+  for (int c = 0; c < code->cols(); ++c) std::printf("d%-2d ", c);
+  std::printf("\n");
+  for (int r = 0; r < code->rows(); ++r) {
+    std::printf("row %-2d ", r);
+    for (int c = 0; c < code->cols(); ++c) {
+      std::printf(" %c  ", cell_glyph(*code, {r, c}));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n. data  H horizontal parity  D diagonal parity  A anti-diagonal "
+      "parity\n");
+  return 0;
+}
+
+int cmd_chains(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: c56cli chains <code> <p>\n");
+    return 2;
+  }
+  const auto id = parse_code(argv[0]);
+  if (!id) {
+    std::fprintf(stderr, "unknown code '%s'\n", argv[0]);
+    return 2;
+  }
+  const auto code = make_code(*id, std::atoi(argv[1]));
+  for (const ParityChain& ch : code->chains()) {
+    std::printf("C[%d][%d] =", ch.parity.row, ch.parity.col);
+    for (Cell in : ch.inputs) std::printf(" ^C[%d][%d]", in.row, in.col);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  const bool lb = has_flag(argc, argv, "--lb");
+  TextTable t({"conversion", "invalid", "migrate", "new parity",
+               "extra space", "XORs/B", "total I/O/B", "time/B*Te"});
+  for (const auto& spec : ana::figure_conversion_set(lb)) {
+    const auto c = mig::analyze(spec);
+    t.add_row({spec.label(), TextTable::pct(c.invalid_parity_ratio),
+               TextTable::pct(c.parity_migration_ratio),
+               TextTable::pct(c.new_parity_generation_ratio),
+               TextTable::pct(c.extra_space_ratio),
+               TextTable::fmt(c.xor_per_block, 2),
+               TextTable::fmt(c.total_io, 2), TextTable::fmt(c.time, 3)});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: c56cli convert <code> <approach> <p> [--lb] "
+                 "[--blocks N] [--kb N]\n");
+    return 2;
+  }
+  const auto id = parse_code(argv[0]);
+  const auto approach = parse_approach(argv[1]);
+  if (!id || !approach) {
+    std::fprintf(stderr, "unknown code or approach\n");
+    return 2;
+  }
+  const int p = std::atoi(argv[2]);
+  const bool lb = has_flag(argc, argv, "--lb");
+  mig::ConversionSpec spec;
+  try {
+    spec = mig::ConversionSpec::canonical(*id, *approach, p, lb);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid conversion: %s\n", e.what());
+    return 2;
+  }
+  const auto costs = mig::analyze(spec);
+  std::printf("%s\n\n", spec.label().c_str());
+  std::printf("  invalid parity ratio    %6.1f %%\n",
+              costs.invalid_parity_ratio * 100);
+  std::printf("  parity migration ratio  %6.1f %%\n",
+              costs.parity_migration_ratio * 100);
+  std::printf("  new parity ratio        %6.1f %%\n",
+              costs.new_parity_generation_ratio * 100);
+  std::printf("  extra space ratio       %6.1f %%\n",
+              costs.extra_space_ratio * 100);
+  std::printf("  computation             %6.2f XORs/B\n", costs.xor_per_block);
+  std::printf("  I/O                     %6.2f reads/B + %.2f writes/B\n",
+              costs.read_io, costs.write_io);
+  std::printf("  analytic time           %6.3f B*Te (%s)\n", costs.time,
+              lb ? "LB" : "NLB");
+  for (const auto& ph : costs.phases) {
+    std::printf("    phase '%s': %.2f reads/B, %.2f writes/B\n",
+                ph.name.c_str(), ph.reads(), ph.writes());
+  }
+
+  mig::TraceParams params;
+  params.total_data_blocks = flag_value(argc, argv, "--blocks", 60'000);
+  params.block_bytes =
+      static_cast<std::uint32_t>(flag_value(argc, argv, "--kb", 4) * 1024);
+  const double ms = ana::simulate_conversion_ms(spec, params);
+  std::printf("  simulated time          %6.2f s  (B=%lld, %u KB blocks)\n",
+              ms / 1e3, static_cast<long long>(params.total_data_blocks),
+              params.block_bytes / 1024);
+  const auto risk = ana::conversion_window_risk(
+      spec, static_cast<double>(params.total_data_blocks), 8.5, 0.081);
+  std::printf("  window risk             tolerates %d failure(s), "
+              "P(loss)=%.2e  [%s]\n",
+              risk.tolerated, risk.loss_probability,
+              ana::window_risk_rating(spec));
+  return 0;
+}
+
+int cmd_speedup(int argc, char** argv) {
+  const bool lb = has_flag(argc, argv, "--lb");
+  TextTable t({"n", "vs code", "their best conversion", "speedup"});
+  for (const auto& e : ana::table4(lb)) {
+    t.add_row({std::to_string(e.n), to_string(e.other),
+               e.other_spec.label(), TextTable::fmt(e.speedup, 2) + "x"});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_mttdl(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: c56cli mttdl <disks> <afr%%> <repair_h>\n");
+    return 2;
+  }
+  const int disks = std::atoi(argv[0]);
+  const double afr = std::atof(argv[1]) / 100.0;
+  const double repair = std::atof(argv[2]);
+  std::printf("disks=%d AFR=%.2f%% repair=%.0fh\n", disks, afr * 100, repair);
+  std::printf("  RAID-5 MTTDL: %12.0f h (%.1f years)\n",
+              ana::raid5_mttdl_hours(disks, afr, repair),
+              ana::raid5_mttdl_hours(disks, afr, repair) / 8760);
+  std::printf("  RAID-6 MTTDL: %12.0f h (%.1f years)\n",
+              ana::raid6_mttdl_hours(disks + 1, afr, repair),
+              ana::raid6_mttdl_hours(disks + 1, afr, repair) / 8760);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: c56cli <layout|chains|analyze|convert|speedup|"
+                 "mttdl> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  argc -= 2;
+  argv += 2;
+  if (cmd == "layout") return cmd_layout(argc, argv);
+  if (cmd == "chains") return cmd_chains(argc, argv);
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
+  if (cmd == "convert") return cmd_convert(argc, argv);
+  if (cmd == "speedup") return cmd_speedup(argc, argv);
+  if (cmd == "mttdl") return cmd_mttdl(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,77 @@
+// Scratch tool: search HDP chain geometries that yield an MDS code.
+// Dimensions: anti-diagonal slope s (+1: r+j classes, -1: r-j classes),
+// class mapping class(i) = <k*i + a> mod p for the parity at (i, p-2-i),
+// and the dependency direction:
+//   mode A: row chains exclude the AD parity cell; AD chains may include
+//           row-parity cells (rows encode first).
+//   mode B: row chains include the AD parity cell; AD chains must be
+//           data-only (AD encodes first).
+#include <cstdio>
+#include <vector>
+
+#include "gf2/chain_solver.hpp"
+#include "util/prime.hpp"
+
+using namespace c56;
+
+int main() {
+  for (char mode : {'A', 'B'}) {
+    for (int slope : {+1, -1}) {
+      for (int k : {1, 2, -1, -2}) {
+        for (int a = 0; a < 13; ++a) {
+          bool all_ok = true;
+          for (int p : {5, 7, 13}) {
+            const int n = p - 1;
+            auto idx = [&](int r, int c) { return r * n + c; };
+            auto is_rowpar = [&](int r, int c) { return r == c; };
+            auto is_adpar = [&](int r, int c) { return c == p - 2 - r; };
+            std::vector<ChainSpec> chains;
+            bool valid = true;
+            std::vector<char> class_used(static_cast<std::size_t>(p), 0);
+            for (int i = 0; i < n && valid; ++i) {
+              const int cls = pmod(k * i + a, p);
+              if (class_used[static_cast<std::size_t>(cls)]) valid = false;
+              class_used[static_cast<std::size_t>(cls)] = 1;
+              ChainSpec ch;
+              ch.cells.push_back(idx(i, p - 2 - i));
+              for (int j = 0; j < n; ++j) {
+                const int r = slope > 0 ? pmod(cls - j, p) : pmod(cls + j, p);
+                if (r > n - 1) continue;
+                if (r == i && j == p - 2 - i) continue;  // itself
+                if (is_adpar(r, j)) { valid = false; break; }
+                if (is_rowpar(r, j) && mode == 'B') { valid = false; break; }
+                ch.cells.push_back(idx(r, j));
+              }
+              chains.push_back(std::move(ch));
+            }
+            for (int i = 0; i < n; ++i) {
+              ChainSpec ch;
+              for (int j = 0; j < n; ++j) {
+                if (mode == 'A' && is_adpar(i, j) && !is_rowpar(i, j)) continue;
+                ch.cells.push_back(idx(i, j));
+              }
+              chains.push_back(std::move(ch));
+            }
+            if (!valid) { all_ok = false; break; }
+            for (int f1 = 0; f1 < n && all_ok; ++f1) {
+              for (int f2 = f1 + 1; f2 < n && all_ok; ++f2) {
+                std::vector<int> erased;
+                for (int r = 0; r < n; ++r) {
+                  erased.push_back(idx(r, f1));
+                  erased.push_back(idx(r, f2));
+                }
+                if (!solve_erasures(n * n, chains, erased)) all_ok = false;
+              }
+            }
+            if (!all_ok) break;
+          }
+          if (all_ok) {
+            std::printf("MDS: mode=%c slope=%+d class=<%d*i+%d>\n", mode,
+                        slope, k, a);
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}
