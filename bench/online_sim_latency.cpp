@@ -36,7 +36,7 @@ c56::sim::LatencyStats app_latency(const c56::mig::ConversionSpec* spec,
     trace = make_conversion_trace(planner, params);
     disks = spec->n();
   } else {
-    trace.phases.push_back({"idle", {}});
+    trace.phases.push_back({"idle", {}, {}});
   }
   // Estimate the window, then weave the workload through every phase.
   sim::ArraySimulator probe(disks);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
+#include "migration/degraded.hpp"
 #include "xorblk/xor.hpp"
 
 namespace c56::mig {
@@ -92,7 +94,15 @@ void ArrayController::read_cell(std::int64_t stripe, Cell c,
   if (cell_failed(c)) {
     reconstruct_cell(stripe, c, out);
   } else {
-    array_.read_block(disk_of(c.col), block_of(stripe, c.row), out);
+    const IoResult r = read_block_retry(array_, disk_of(c.col),
+                                        block_of(stripe, c.row), out,
+                                        RetryPolicy{}, nullptr);
+    if (!r.ok()) {
+      throw std::runtime_error(std::string("ArrayController: read failed (") +
+                               to_string(r.status) + ") at disk " +
+                               std::to_string(r.disk) + " block " +
+                               std::to_string(r.block));
+    }
   }
 }
 
@@ -107,13 +117,22 @@ void ArrayController::reconstruct_cell(std::int64_t stripe, Cell c,
     }
   }
   assert(recipe != nullptr && "cell is not part of the failure set");
-  std::ranges::fill(out, std::uint8_t{0});
-  Buffer tmp(array_.block_bytes());
+  // One shared reconstruct-on-read path: the recipe's surviving chain
+  // members feed the same XOR kernel the online migrator degrades
+  // through (degraded.hpp).
+  std::vector<BlockAddr> srcs;
+  srcs.reserve(recipe->sources.size());
   for (int src : recipe->sources) {
     const Cell sc = cell_of_index(src, code_->cols());
     assert(!cell_failed(sc));
-    array_.read_block(disk_of(sc.col), block_of(stripe, sc.row), tmp.span());
-    xor_into(out, tmp.span());
+    srcs.push_back({disk_of(sc.col), block_of(stripe, sc.row)});
+  }
+  const IoResult r = xor_chain_read(array_, srcs, out, RetryPolicy{}, nullptr);
+  if (!r.ok()) {
+    throw std::runtime_error(
+        std::string("ArrayController: reconstruction read failed (") +
+        to_string(r.status) + ") at disk " + std::to_string(r.disk) +
+        " block " + std::to_string(r.block));
   }
 }
 

@@ -1,0 +1,69 @@
+#include "migration/degraded.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "xorblk/buffer.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56::mig {
+namespace {
+
+void backoff(const RetryPolicy& policy, int attempt) {
+  if (policy.backoff_us == 0) return;
+  const auto us = std::chrono::microseconds(
+      static_cast<std::uint64_t>(policy.backoff_us) << (attempt - 1));
+  std::this_thread::sleep_for(us);
+}
+
+bool transient(IoStatus s) {
+  return s == IoStatus::kSectorError || s == IoStatus::kTornWrite;
+}
+
+}  // namespace
+
+IoResult read_block_retry(DiskArray& a, int disk, std::int64_t block,
+                          std::span<std::uint8_t> out,
+                          const RetryPolicy& policy, IoCounters* counters) {
+  IoResult r;
+  for (int attempt = 1;; ++attempt) {
+    r = a.read_block(disk, block, out);
+    if (counters) ++counters->reads;
+    if (r.ok() || !transient(r.status) || attempt >= policy.max_attempts) {
+      return r;
+    }
+    if (counters) ++counters->retries;
+    backoff(policy, attempt);
+  }
+}
+
+IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
+                           std::span<const std::uint8_t> in,
+                           const RetryPolicy& policy, IoCounters* counters) {
+  IoResult r;
+  for (int attempt = 1;; ++attempt) {
+    r = a.write_block(disk, block, in);
+    if (counters) ++counters->writes;
+    if (r.ok() || !transient(r.status) || attempt >= policy.max_attempts) {
+      return r;
+    }
+    if (counters) ++counters->retries;
+    backoff(policy, attempt);
+  }
+}
+
+IoResult xor_chain_read(DiskArray& a, std::span<const BlockAddr> sources,
+                        std::span<std::uint8_t> out,
+                        const RetryPolicy& policy, IoCounters* counters) {
+  std::ranges::fill(out, std::uint8_t{0});
+  Buffer tmp(a.block_bytes());
+  for (const BlockAddr& s : sources) {
+    const IoResult r =
+        read_block_retry(a, s.disk, s.block, tmp.span(), policy, counters);
+    if (!r.ok()) return r;
+    xor_into(out, tmp.span());
+  }
+  return IoResult::success();
+}
+
+}  // namespace c56::mig

@@ -1,0 +1,51 @@
+#pragma once
+// Shared degraded-I/O primitives over the fault-injecting DiskArray:
+// bounded retry-with-backoff for transient errors (latent sector errors
+// on reads, torn writes) and reconstruct-by-XOR-chain reads. The RAID
+// controller's recipe-driven reconstruction and the online migrator's
+// RAID-5 row reconstruction are both expressed through xor_chain_read,
+// so there is exactly one reconstruct-on-read code path.
+
+#include <cstdint>
+#include <span>
+
+#include "migration/disk_array.hpp"
+#include "migration/fault.hpp"
+
+namespace c56::mig {
+
+struct BlockAddr {
+  int disk = 0;
+  std::int64_t block = 0;
+};
+
+/// Attempt accounting for one degraded operation; callers fold these
+/// into their own stats under their own locking.
+struct IoCounters {
+  std::uint64_t reads = 0;    // counted reads issued, retries included
+  std::uint64_t writes = 0;   // counted writes issued, retries included
+  std::uint64_t retries = 0;  // reissues after a transient error
+};
+
+/// Read with retry. kSectorError is transient (reissued up to
+/// policy.max_attempts with exponential backoff); kDiskFailed is
+/// permanent and returned immediately.
+IoResult read_block_retry(DiskArray& a, int disk, std::int64_t block,
+                          std::span<std::uint8_t> out,
+                          const RetryPolicy& policy, IoCounters* counters);
+
+/// Write with retry. A torn write is repaired by rewriting the whole
+/// block; kDiskFailed is permanent.
+IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
+                           std::span<const std::uint8_t> in,
+                           const RetryPolicy& policy, IoCounters* counters);
+
+/// out = XOR of the addressed blocks, each read with retry (`out` is
+/// zeroed first). This is the reconstruct-on-read kernel: pass the
+/// surviving members of the failed block's parity chain. Fails on the
+/// first unreadable source.
+IoResult xor_chain_read(DiskArray& a, std::span<const BlockAddr> sources,
+                        std::span<std::uint8_t> out,
+                        const RetryPolicy& policy, IoCounters* counters);
+
+}  // namespace c56::mig

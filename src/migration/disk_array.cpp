@@ -1,10 +1,25 @@
 #include "migration/disk_array.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace c56::mig {
+
+const char* to_string(IoStatus s) noexcept {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kDiskFailed:
+      return "disk failed";
+    case IoStatus::kSectorError:
+      return "sector error";
+    case IoStatus::kTornWrite:
+      return "torn write";
+  }
+  return "?";
+}
 
 DiskArray::DiskArray(int disks, std::int64_t blocks_per_disk,
                      std::size_t block_bytes)
@@ -23,37 +38,134 @@ int DiskArray::add_disk() {
   return static_cast<int>(disks_.size()) - 1;
 }
 
+void DiskArray::check(int disk, std::int64_t block) const {
+  if (disk < 0 || disk >= disks() || block < 0 || block >= blocks_per_disk_) {
+    throw std::out_of_range("DiskArray: disk " + std::to_string(disk) +
+                            " block " + std::to_string(block) +
+                            " outside " + std::to_string(disks()) + "x" +
+                            std::to_string(blocks_per_disk_));
+  }
+}
+
 std::span<std::uint8_t> DiskArray::raw_block(int disk, std::int64_t block) {
-  assert(disk >= 0 && disk < disks());
-  assert(block >= 0 && block < blocks_per_disk_);
+  check(disk, block);
   return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
       static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
 }
 
 std::span<const std::uint8_t> DiskArray::raw_block(
     int disk, std::int64_t block) const {
-  assert(disk >= 0 && disk < disks());
-  assert(block >= 0 && block < blocks_per_disk_);
+  check(disk, block);
   return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
       static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
 }
 
-void DiskArray::read_block(int disk, std::int64_t block,
-                           std::span<std::uint8_t> out) {
-  assert(out.size() == block_bytes_);
-  const auto src = raw_block(disk, block);
-  std::memcpy(out.data(), src.data(), block_bytes_);
-  disks_[static_cast<std::size_t>(disk)]->reads.fetch_add(
-      1, std::memory_order_relaxed);
+void DiskArray::set_fault_plan(const FaultPlan& plan) {
+  std::lock_guard lk(fault_mu_);
+  for (auto& d : disks_) {
+    d->fail_after.store(kNeverFails, std::memory_order_relaxed);
+  }
+  for (const FaultPlan::DiskFailure& f : plan.disk_failures) {
+    check(f.disk, 0);
+    disks_[static_cast<std::size_t>(f.disk)]->fail_after.store(
+        f.after_ios, std::memory_order_relaxed);
+  }
+  bad_blocks_.clear();
+  for (const FaultPlan::BadBlock& b : plan.bad_blocks) {
+    check(b.disk, b.block);
+    bad_blocks_.emplace_back(b.disk, b.block);
+  }
+  sector_error_rate_ = plan.sector_error_rate;
+  torn_write_rate_ = plan.torn_write_rate;
+  rng_ = Rng(plan.seed);
+  injecting_ = true;
 }
 
-void DiskArray::write_block(int disk, std::int64_t block,
-                            std::span<const std::uint8_t> in) {
-  assert(in.size() == block_bytes_);
-  const auto dst = raw_block(disk, block);
+void DiskArray::fail_disk(int disk) {
+  check(disk, 0);
+  disks_[static_cast<std::size_t>(disk)]->failed.store(true);
+}
+
+void DiskArray::repair_disk(int disk) {
+  check(disk, 0);
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.fail_after.store(kNeverFails);
+  d.failed.store(false);
+}
+
+bool DiskArray::disk_failed(int disk) const {
+  check(disk, 0);
+  return disks_[static_cast<std::size_t>(disk)]->failed.load();
+}
+
+int DiskArray::failed_disks() const {
+  int n = 0;
+  for (const auto& d : disks_) n += d->failed.load();
+  return n;
+}
+
+bool DiskArray::roll(double rate) {
+  if (rate <= 0.0) return false;
+  std::lock_guard lk(fault_mu_);
+  return rng_.next_double() < rate;
+}
+
+bool DiskArray::is_bad(int disk, std::int64_t block) const {
+  std::lock_guard lk(fault_mu_);
+  return std::find(bad_blocks_.begin(), bad_blocks_.end(),
+                   std::make_pair(disk, block)) != bad_blocks_.end();
+}
+
+void DiskArray::clear_bad(int disk, std::int64_t block) {
+  std::lock_guard lk(fault_mu_);
+  std::erase(bad_blocks_, std::make_pair(disk, block));
+}
+
+IoResult DiskArray::read_block(int disk, std::int64_t block,
+                               std::span<std::uint8_t> out) {
+  check(disk, block);
+  if (out.size() != block_bytes_) {
+    throw std::invalid_argument("DiskArray::read_block: bad buffer size");
+  }
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.reads.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
+  if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
+    d.failed.store(true);
+  }
+  if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
+  if (injecting_ &&
+      (is_bad(disk, block) || roll(sector_error_rate_))) {
+    return IoResult::fail(IoStatus::kSectorError, disk, block);
+  }
+  const auto src = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
+  std::memcpy(out.data(), src.data(), block_bytes_);
+  return IoResult::success();
+}
+
+IoResult DiskArray::write_block(int disk, std::int64_t block,
+                                std::span<const std::uint8_t> in) {
+  check(disk, block);
+  if (in.size() != block_bytes_) {
+    throw std::invalid_argument("DiskArray::write_block: bad buffer size");
+  }
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.writes.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
+  if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
+    d.failed.store(true);
+  }
+  if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
+  const auto dst = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
+  if (injecting_ && roll(torn_write_rate_)) {
+    std::memcpy(dst.data(), in.data(), block_bytes_ / 2);
+    return IoResult::fail(IoStatus::kTornWrite, disk, block);
+  }
   std::memcpy(dst.data(), in.data(), block_bytes_);
-  disks_[static_cast<std::size_t>(disk)]->writes.fetch_add(
-      1, std::memory_order_relaxed);
+  if (injecting_) clear_bad(disk, block);  // successful rewrite remaps
+  return IoResult::success();
 }
 
 std::uint64_t DiskArray::reads(int disk) const {

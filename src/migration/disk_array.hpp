@@ -2,13 +2,19 @@
 // In-memory block-device array: the substrate the online migrator
 // (Algorithm 2) runs against. Each disk is a flat vector of fixed-size
 // blocks; per-disk I/O counters let tests and examples account for the
-// traffic the conversion and the concurrent application generate.
+// traffic the conversion and the concurrent application generate, and a
+// FaultPlan injects the failures (whole-disk, latent sector, torn
+// write) that the degraded migration paths must survive.
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "migration/fault.hpp"
+#include "util/rng.hpp"
 #include "xorblk/buffer.hpp"
 
 namespace c56::mig {
@@ -24,14 +30,31 @@ class DiskArray {
   /// Append a zeroed disk (the "add a new disk" step of Algorithm 2).
   int add_disk();
 
-  /// Raw access to a block's storage (no counter update).
+  /// Raw access to a block's storage (no counter update, no fault
+  /// injection — the setup/verification backdoor). Throws
+  /// std::out_of_range for invalid coordinates.
   std::span<std::uint8_t> raw_block(int disk, std::int64_t block);
   std::span<const std::uint8_t> raw_block(int disk, std::int64_t block) const;
 
-  /// Counted accesses.
-  void read_block(int disk, std::int64_t block, std::span<std::uint8_t> out);
-  void write_block(int disk, std::int64_t block,
-                   std::span<const std::uint8_t> in);
+  /// Counted accesses. Bounds are checked (std::out_of_range names the
+  /// offending coordinates); injected faults surface in the IoResult
+  /// instead of silently succeeding. A read on a failed disk transfers
+  /// nothing; a torn write persists only the first half of the block.
+  IoResult read_block(int disk, std::int64_t block,
+                      std::span<std::uint8_t> out);
+  IoResult write_block(int disk, std::int64_t block,
+                       std::span<const std::uint8_t> in);
+
+  /// Install a fault plan (replaces any previous one and reseeds the
+  /// injection RNG). Not safe against concurrent in-flight I/O.
+  void set_fault_plan(const FaultPlan& plan);
+  /// Explicit failure control (a plan's DiskFailure ends up here too).
+  void fail_disk(int disk);
+  /// Clears the failed flag and any scripted failure for the disk; the
+  /// stale contents stay in place until a rebuild overwrites them.
+  void repair_disk(int disk);
+  bool disk_failed(int disk) const;
+  int failed_disks() const;
 
   std::uint64_t reads(int disk) const;
   std::uint64_t writes(int disk) const;
@@ -39,15 +62,34 @@ class DiskArray {
   std::uint64_t total_writes() const;
 
  private:
+  static constexpr std::uint64_t kNeverFails = ~std::uint64_t{0};
+
   struct Disk {
     Buffer data;
     std::atomic<std::uint64_t> reads{0};
     std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> ios{0};  // reads + writes, for fail_after
+    std::atomic<std::uint64_t> fail_after{kNeverFails};
+    std::atomic<bool> failed{false};
   };
+
+  void check(int disk, std::int64_t block) const;  // throws out_of_range
+  bool roll(double rate);  // one injection-RNG draw under fault_mu_
+  bool is_bad(int disk, std::int64_t block) const;
+  void clear_bad(int disk, std::int64_t block);
 
   std::vector<std::unique_ptr<Disk>> disks_;
   std::int64_t blocks_per_disk_;
   std::size_t block_bytes_;
+
+  // Fault-injection state (cold path; guarded by fault_mu_ except the
+  // per-disk atomics above).
+  mutable std::mutex fault_mu_;
+  bool injecting_ = false;
+  double sector_error_rate_ = 0.0;
+  double torn_write_rate_ = 0.0;
+  std::vector<std::pair<int, std::int64_t>> bad_blocks_;
+  Rng rng_{0};
 };
 
 }  // namespace c56::mig

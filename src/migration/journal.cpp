@@ -1,0 +1,128 @@
+#include "migration/journal.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace c56::mig {
+namespace {
+
+constexpr std::uint64_t kMagic = 0xC56A'0001'4A52'4E4CULL;  // ..."JRNL"
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[off + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void MemoryCheckpointSink::write_slot(int slot,
+                                      std::span<const std::uint8_t> bytes) {
+  slots_[slot & 1].assign(bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> MemoryCheckpointSink::read_slot(int slot) {
+  return slots_[slot & 1];
+}
+
+FileCheckpointSink::FileCheckpointSink(std::string path)
+    : path_(std::move(path)) {
+  // Create the file if absent so read_slot on a fresh journal works.
+  if (std::FILE* f = std::fopen(path_.c_str(), "ab")) std::fclose(f);
+}
+
+void FileCheckpointSink::write_slot(int slot,
+                                    std::span<const std::uint8_t> bytes) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  if (!f) f = std::fopen(path_.c_str(), "wb+");
+  if (!f) throw std::runtime_error("FileCheckpointSink: cannot open " + path_);
+  const long off =
+      static_cast<long>((slot & 1) * MigrationJournal::kSlotBytes);
+  if (std::fseek(f, off, SEEK_SET) != 0 ||
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    throw std::runtime_error("FileCheckpointSink: short write to " + path_);
+  }
+  std::fflush(f);
+  std::fclose(f);
+}
+
+std::vector<std::uint8_t> FileCheckpointSink::read_slot(int slot) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (!f) return {};
+  std::vector<std::uint8_t> bytes(MigrationJournal::kSlotBytes);
+  const long off =
+      static_cast<long>((slot & 1) * MigrationJournal::kSlotBytes);
+  std::size_t got = 0;
+  if (std::fseek(f, off, SEEK_SET) == 0) {
+    got = std::fread(bytes.data(), 1, bytes.size(), f);
+  }
+  std::fclose(f);
+  bytes.resize(got);
+  return bytes;
+}
+
+std::vector<std::uint8_t> MigrationJournal::encode(
+    const CheckpointRecord& rec) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSlotBytes);
+  put_u64(out, kMagic);
+  put_u64(out, rec.seq);
+  put_u64(out, static_cast<std::uint64_t>(rec.groups_done));
+  put_u64(out, static_cast<std::uint64_t>(rec.diag_rows));
+  put_u64(out, fnv1a64(out));
+  return out;
+}
+
+std::optional<CheckpointRecord> MigrationJournal::decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSlotBytes) return std::nullopt;
+  if (get_u64(bytes, 0) != kMagic) return std::nullopt;
+  if (get_u64(bytes, 32) != fnv1a64(bytes.first(32))) return std::nullopt;
+  CheckpointRecord rec;
+  rec.seq = get_u64(bytes, 8);
+  rec.groups_done = static_cast<std::int64_t>(get_u64(bytes, 16));
+  rec.diag_rows = static_cast<int>(get_u64(bytes, 24));
+  return rec;
+}
+
+void MigrationJournal::record(std::int64_t groups_done, int diag_rows) {
+  CheckpointRecord rec{++seq_, groups_done, diag_rows};
+  sink_.write_slot(next_slot_, encode(rec));
+  next_slot_ ^= 1;
+}
+
+std::optional<CheckpointRecord> MigrationJournal::recover() {
+  std::optional<CheckpointRecord> best;
+  int best_slot = -1;
+  for (int slot = 0; slot < 2; ++slot) {
+    const auto bytes = sink_.read_slot(slot);
+    if (auto rec = decode(bytes); rec && (!best || rec->seq > best->seq)) {
+      best = rec;
+      best_slot = slot;
+    }
+  }
+  if (best) {
+    seq_ = best->seq;
+    next_slot_ = best_slot ^ 1;  // overwrite the stale/torn slot first
+  }
+  return best;
+}
+
+}  // namespace c56::mig

@@ -1,0 +1,80 @@
+#pragma once
+// Crash-consistent migration journal. The converter's only volatile
+// state is its position — the group watermark plus how many diagonal
+// rows of the current group are on disk — so persisting that one record
+// makes the whole conversion resumable. The record is checksummed and
+// written alternately to two slots (double buffering): a crash that
+// tears one slot leaves the other intact, and recovery picks the valid
+// slot with the highest sequence number.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace c56::mig {
+
+struct CheckpointRecord {
+  std::uint64_t seq = 0;         // monotone write counter
+  std::int64_t groups_done = 0;  // stripe groups fully generated
+  int diag_rows = 0;             // diagonal rows done in group groups_done
+};
+
+/// Raw two-slot storage the journal encodes into. Slot writes need no
+/// atomicity: a torn slot fails its checksum on load and is discarded.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void write_slot(int slot, std::span<const std::uint8_t> bytes) = 0;
+  /// Stored bytes of the slot; empty if never written.
+  virtual std::vector<std::uint8_t> read_slot(int slot) = 0;
+};
+
+class MemoryCheckpointSink final : public CheckpointSink {
+ public:
+  void write_slot(int slot, std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> read_slot(int slot) override;
+
+ private:
+  std::vector<std::uint8_t> slots_[2];
+};
+
+/// File-backed sink: one fixed-size file, slot i at offset i*kSlotBytes.
+class FileCheckpointSink final : public CheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string path);
+  void write_slot(int slot, std::span<const std::uint8_t> bytes) override;
+  std::vector<std::uint8_t> read_slot(int slot) override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class MigrationJournal {
+ public:
+  static constexpr std::size_t kSlotBytes = 40;
+
+  explicit MigrationJournal(CheckpointSink& sink) : sink_(sink) {}
+
+  /// Persist the converter position (alternating slots).
+  void record(std::int64_t groups_done, int diag_rows);
+
+  /// Best valid record, or nullopt if no slot decodes. Also primes the
+  /// journal so subsequent record() calls continue the sequence and
+  /// overwrite the stale slot first.
+  std::optional<CheckpointRecord> recover();
+
+  /// Encoding helpers, exposed for tests.
+  static std::vector<std::uint8_t> encode(const CheckpointRecord& rec);
+  static std::optional<CheckpointRecord> decode(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  CheckpointSink& sink_;
+  std::uint64_t seq_ = 0;
+  int next_slot_ = 0;
+};
+
+}  // namespace c56::mig

@@ -1,7 +1,7 @@
 #include "migration/online.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <vector>
 
 #include "layout/raid.hpp"
 #include "util/prime.hpp"
@@ -9,11 +9,39 @@
 
 namespace c56::mig {
 
+namespace {
+
+std::string describe(const IoResult& r) {
+  return std::string(to_string(r.status)) + " at disk " +
+         std::to_string(r.disk) + " block " + std::to_string(r.block);
+}
+
+}  // namespace
+
+const char* to_string(MigrationState s) noexcept {
+  switch (s) {
+    case MigrationState::kIdle:
+      return "idle";
+    case MigrationState::kConverting:
+      return "converting";
+    case MigrationState::kStopped:
+      return "stopped";
+    case MigrationState::kDone:
+      return "done";
+    case MigrationState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
 OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
     : array_(array), code_(p), m_(p - 1) {
-  if (array.disks() != m_) {
+  if (array.disks() == m_ + 1) {
+    new_disk_ = m_;  // re-attaching to an interrupted migration
+  } else if (array.disks() != m_) {
     throw std::invalid_argument(
-        "OnlineMigrator: array must hold p-1 disks (a full RAID-5)");
+        "OnlineMigrator: array must hold p-1 disks (a full RAID-5), or "
+        "p disks to resume an interrupted migration");
   }
   if (array.blocks_per_disk() % (p - 1) != 0) {
     throw std::invalid_argument(
@@ -23,6 +51,7 @@ OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
 }
 
 OnlineMigrator::~OnlineMigrator() {
+  request_stop();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -31,7 +60,11 @@ std::int64_t OnlineMigrator::logical_blocks() const {
 }
 
 OnlineMigrator::Locus OnlineMigrator::locate(std::int64_t logical) const {
-  assert(logical >= 0 && logical < logical_blocks());
+  if (logical < 0 || logical >= logical_blocks()) {
+    throw std::out_of_range("OnlineMigrator: logical block " +
+                            std::to_string(logical) + " outside [0, " +
+                            std::to_string(logical_blocks()) + ")");
+  }
   const std::int64_t stripe_row = logical / (m_ - 1);
   const int k = static_cast<int>(logical % (m_ - 1));
   Locus l;
@@ -43,19 +76,151 @@ OnlineMigrator::Locus OnlineMigrator::locate(std::int64_t logical) const {
   return l;
 }
 
+void OnlineMigrator::attach_journal(CheckpointSink& sink) {
+  std::lock_guard lk(mu_);
+  if (running_.load()) {
+    throw std::logic_error("attach_journal: conversion already running");
+  }
+  journal_.emplace(sink);
+}
+
+void OnlineMigrator::set_retry_policy(const RetryPolicy& policy) {
+  std::lock_guard lk(mu_);
+  retry_ = policy;
+}
+
 void OnlineMigrator::start() {
-  if (running_.exchange(true)) {
+  std::lock_guard lk(mu_);
+  if (state_ != MigrationState::kIdle) {
     throw std::logic_error("OnlineMigrator: already started");
   }
   if (new_disk_ < 0) new_disk_ = array_.add_disk();  // Step 2
+  start_group_ = 0;
+  start_row_ = 0;
+  if (journal_) journal_->record(0, 0);
+  launch_locked();
+}
+
+void OnlineMigrator::resume() {
+  finish();  // join a stopped worker before restarting
+  std::lock_guard lk(mu_);
+  switch (state_) {
+    case MigrationState::kIdle:
+    case MigrationState::kStopped:
+      break;
+    case MigrationState::kDone:
+      return;  // nothing left to do
+    case MigrationState::kConverting:
+      throw std::logic_error("resume: conversion already running");
+    case MigrationState::kAborted:
+      throw std::logic_error("resume: migration aborted: " + abort_reason_);
+  }
+  if (new_disk_ < 0) new_disk_ = array_.add_disk();
+  const int p = code_.p();
+  std::int64_t g = current_group_;
+  int rows = current_diag_rows_;
+  if (journal_) {
+    if (const auto rec = journal_->recover()) {
+      g = std::min(rec->groups_done, groups_);
+      rows = std::min(std::max(rec->diag_rows, 0), p - 1);
+    } else {
+      g = 0;
+      rows = 0;
+    }
+  }
+  // Re-verify before trusting the watermark: the last fully generated
+  // group must match a recomputation (a torn new-disk write shows up
+  // here), and so must the partial rows of the current group. Rewind to
+  // the first stale position; regeneration is idempotent.
+  if (g > 0 && g <= groups_) {
+    const int stale = first_stale_diag(g - 1, p - 1);
+    if (stale < p - 1) {
+      --g;
+      rows = stale;
+    }
+  }
+  if (g < groups_ && rows > 0) {
+    rows = first_stale_diag(g, rows);
+  }
+  start_group_ = g;
+  start_row_ = g < groups_ ? rows : 0;
+  groups_done_.store(g);
+  current_group_ = g;
+  current_diag_rows_ = start_row_;
+  if (g >= groups_) {
+    state_ = MigrationState::kDone;
+    return;
+  }
+  launch_locked();
+}
+
+void OnlineMigrator::launch_locked() {
+  state_ = MigrationState::kConverting;
+  stop_requested_.store(false);
+  running_.store(true);
   worker_ = std::thread([this] { conversion_loop(); });
+}
+
+void OnlineMigrator::request_stop() {
+  stop_requested_.store(true);
+  cv_.notify_all();
 }
 
 void OnlineMigrator::finish() {
   if (worker_.joinable()) worker_.join();
 }
 
-void OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
+MigrationState OnlineMigrator::state() const {
+  std::lock_guard lk(mu_);
+  return state_;
+}
+
+std::string OnlineMigrator::abort_reason() const {
+  std::lock_guard lk(mu_);
+  return abort_reason_;
+}
+
+void OnlineMigrator::abort_locked(std::string reason) {
+  state_ = MigrationState::kAborted;
+  abort_reason_ = std::move(reason);
+}
+
+IoResult OnlineMigrator::read_source(int disk, std::int64_t block,
+                                     std::span<std::uint8_t> out,
+                                     bool conversion) {
+  IoCounters c;
+  IoResult r = IoResult::fail(IoStatus::kDiskFailed, disk, block);
+  if (!array_.disk_failed(disk)) {
+    r = read_block_retry(array_, disk, block, out, retry_, &c);
+  }
+  if (!r.ok() && disk < m_) {
+    // Reconstruct through the RAID-5 horizontal parity: every row of
+    // the source array XORs to zero, so the block is the XOR of the
+    // other m-1 blocks of its row (works for data and parity cells
+    // alike, and for hard sector errors as well as whole-disk loss).
+    std::vector<BlockAddr> srcs;
+    srcs.reserve(static_cast<std::size_t>(m_ - 1));
+    bool possible = true;
+    for (int d = 0; d < m_; ++d) {
+      if (d == disk) continue;
+      if (array_.disk_failed(d)) {
+        possible = false;
+        break;
+      }
+      srcs.push_back({d, block});
+    }
+    if (possible) {
+      const IoResult rr = xor_chain_read(array_, srcs, out, retry_, &c);
+      if (rr.ok()) ++stats_.reconstructed_reads;
+      r = rr;
+    }
+  }
+  (conversion ? stats_.conv_reads : stats_.app_reads) += c.reads;
+  stats_.retries += c.retries;
+  return r;
+}
+
+IoResult OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
   // Chain for diagonal parity row i (Eq. 2): data cells
   // (<i-1-j> mod p, j), j != i.
   const int p = code_.p();
@@ -64,45 +229,95 @@ void OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
   for (int j = 0; j <= p - 2; ++j) {
     if (j == diag_row) continue;
     const int r = pmod(diag_row - 1 - j, p);
-    array_.read_block(j, group * (p - 1) + r, tmp.span());
-    ++stats_.conv_reads;
+    const IoResult res =
+        read_source(j, group * (p - 1) + r, tmp.span(), /*conversion=*/true);
+    if (!res.ok()) return res;
     xor_into(acc.span(), tmp.span());
   }
-  array_.write_block(new_disk_, group * (p - 1) + diag_row, acc.span());
-  ++stats_.conv_writes;
+  IoCounters c;
+  const IoResult res =
+      write_block_retry(array_, new_disk_, group * (p - 1) + diag_row,
+                        acc.span(), retry_, &c);
+  stats_.conv_writes += c.writes;
+  stats_.retries += c.retries;
+  return res;
+}
+
+int OnlineMigrator::first_stale_diag(std::int64_t group, int upto) {
+  const int p = code_.p();
+  Buffer acc(array_.block_bytes());
+  Buffer tmp(array_.block_bytes());
+  for (int i = 0; i < upto; ++i) {
+    acc.zero();
+    for (int j = 0; j <= p - 2; ++j) {
+      if (j == i) continue;
+      const int r = pmod(i - 1 - j, p);
+      if (!read_source(j, group * (p - 1) + r, tmp.span(), true).ok()) {
+        return i;  // unreadable chain: let the conversion loop retry it
+      }
+      xor_into(acc.span(), tmp.span());
+    }
+    const auto stored = array_.raw_block(new_disk_, group * (p - 1) + i);
+    if (!std::ranges::equal(acc.span(), stored)) return i;
+  }
+  return upto;
 }
 
 void OnlineMigrator::conversion_loop() {
   const int p = code_.p();
-  for (std::int64_t g = 0; g < groups_; ++g) {
-    for (int i = 0; i <= p - 2; ++i) {
+  int i0 = start_row_;
+  for (std::int64_t g = start_group_; g < groups_; ++g) {
+    for (int i = i0; i <= p - 2; ++i) {
       std::unique_lock lk(mu_);
       // A pending application write preempts the converter between
       // parity blocks (Algorithm 2, "interrupt the conversion thread").
-      cv_.wait(lk, [this] { return pending_writers_.load() == 0; });
-      generate_diag(g, i);
+      cv_.wait(lk, [this] {
+        return pending_writers_.load() == 0 || stop_requested_.load() ||
+               state_ == MigrationState::kAborted;
+      });
+      if (state_ == MigrationState::kAborted) {
+        running_.store(false);
+        return;
+      }
+      if (stop_requested_.load()) {
+        state_ = MigrationState::kStopped;
+        running_.store(false);
+        return;
+      }
+      const IoResult res = generate_diag(g, i);
+      if (!res.ok()) {
+        abort_locked("conversion cannot generate diagonal row " +
+                     std::to_string(i) + " of group " + std::to_string(g) +
+                     ": " + describe(res));
+        running_.store(false);
+        return;
+      }
       current_diag_rows_ = i + 1;
+      if (journal_) journal_->record(g, i + 1);
     }
+    i0 = 0;
     {
       std::lock_guard lk(mu_);
       groups_done_.store(g + 1);
       current_group_ = g + 1;
       current_diag_rows_ = 0;
+      if (journal_) journal_->record(g + 1, 0);
     }
   }
+  std::lock_guard lk(mu_);
+  state_ = MigrationState::kDone;
   running_.store(false);
 }
 
-void OnlineMigrator::read_block(std::int64_t logical,
-                                std::span<std::uint8_t> out) {
+IoResult OnlineMigrator::read_block(std::int64_t logical,
+                                    std::span<std::uint8_t> out) {
   const Locus l = locate(logical);
   std::lock_guard lk(mu_);
-  array_.read_block(l.disk, l.block, out);
-  ++stats_.app_reads;
+  return read_source(l.disk, l.block, out, /*conversion=*/false);
 }
 
-void OnlineMigrator::write_block(std::int64_t logical,
-                                 std::span<const std::uint8_t> in) {
+IoResult OnlineMigrator::write_block(std::int64_t logical,
+                                     std::span<const std::uint8_t> in) {
   const Locus l = locate(logical);
   const int p = code_.p();
   pending_writers_.fetch_add(1);
@@ -112,22 +327,69 @@ void OnlineMigrator::write_block(std::int64_t logical,
 
   const std::size_t bs = array_.block_bytes();
   Buffer old_data(bs), delta(bs), par(bs);
-  array_.read_block(l.disk, l.block, old_data.span());
-  ++stats_.app_reads;
+  const IoResult oldr = read_source(l.disk, l.block, old_data.span(), false);
+  if (!oldr.ok()) {
+    // The pre-image is gone: the write (and the block) cannot be kept
+    // consistent. Mid-conversion this is the data-loss event Table VI
+    // prices, so the migration aborts.
+    if (state_ == MigrationState::kConverting) {
+      abort_locked("application write lost logical block " +
+                   std::to_string(logical) + ": " + describe(oldr));
+      lk.unlock();
+      cv_.notify_all();
+      return oldr;
+    }
+    return oldr;
+  }
   xor_to(delta.data(), old_data.data(), in.data(), bs);
 
   // Horizontal parity: always maintained (it is the RAID-5 parity).
   const int hpar_disk = p - 2 - l.row;
-  array_.read_block(hpar_disk, l.block, par.span());
-  ++stats_.app_reads;
-  xor_into(par.span(), delta.span());
-  array_.write_block(hpar_disk, l.block, par.span());
-  ++stats_.app_writes;
+  bool parity_updated = false;
+  if (!array_.disk_failed(hpar_disk)) {
+    // read_source also recovers a latent sector error under the parity
+    // block itself (the row XOR reconstructs parity cells too).
+    const IoResult r = read_source(hpar_disk, l.block, par.span(), false);
+    if (r.ok()) {
+      xor_into(par.span(), delta.span());
+      IoCounters c;
+      const IoResult w =
+          write_block_retry(array_, hpar_disk, l.block, par.span(), retry_, &c);
+      stats_.app_writes += c.writes;
+      stats_.retries += c.retries;
+      parity_updated = w.ok();
+    }
+  }
+  if (!parity_updated) ++stats_.degraded_writes;
+
+  // Data block itself.
+  bool data_written = false;
+  if (!array_.disk_failed(l.disk)) {
+    IoCounters c;
+    const IoResult w =
+        write_block_retry(array_, l.disk, l.block, in, retry_, &c);
+    stats_.app_writes += c.writes;
+    stats_.retries += c.retries;
+    data_written = w.ok();
+  } else {
+    ++stats_.degraded_writes;
+  }
+
+  if (!data_written && !parity_updated) {
+    // Neither replica of the update is durable: unrecoverable.
+    const IoResult res = IoResult::fail(IoStatus::kDiskFailed, l.disk, l.block);
+    if (state_ == MigrationState::kConverting) {
+      abort_locked("application write lost logical block " +
+                   std::to_string(logical) + ": data and parity disks failed");
+    }
+    lk.unlock();
+    cv_.notify_all();
+    return res;
+  }
 
   // Diagonal parity: only if this block's diagonal chain is already on
   // the new disk (otherwise the converter will fold the new value in).
-  const bool have_new_disk = new_disk_ >= 0;
-  if (have_new_disk) {
+  if (new_disk_ >= 0) {
     const int diag_row = pmod(l.row + l.disk + 1, p);
     const bool generated =
         l.group < groups_done_.load() ||
@@ -136,24 +398,134 @@ void OnlineMigrator::write_block(std::int64_t logical,
     // diagonal chain -- but locate() only yields data cells, and every
     // data cell is on exactly one chain, so diag_row is always valid.
     if (generated) {
-      array_.read_block(new_disk_, l.group * (p - 1) + diag_row, par.span());
-      ++stats_.app_reads;
-      xor_into(par.span(), delta.span());
-      array_.write_block(new_disk_, l.group * (p - 1) + diag_row,
-                         par.span());
-      ++stats_.app_writes;
+      if (!array_.disk_failed(new_disk_)) {
+        const std::int64_t db = l.group * (p - 1) + diag_row;
+        IoCounters c;
+        const IoResult r =
+            read_block_retry(array_, new_disk_, db, par.span(), retry_, &c);
+        stats_.app_reads += c.reads;
+        stats_.retries += c.retries;
+        if (r.ok()) {
+          const IoResult w = [&] {
+            xor_into(par.span(), delta.span());
+            IoCounters wc;
+            const IoResult res =
+                write_block_retry(array_, new_disk_, db, par.span(), retry_, &wc);
+            stats_.app_writes += wc.writes;
+            stats_.retries += wc.retries;
+            return res;
+          }();
+          if (!w.ok()) ++stats_.degraded_writes;
+        } else if (r.status == IoStatus::kSectorError) {
+          // The stored diagonal parity is unreadable: regenerate its
+          // whole chain from the (already updated) data. Counted as
+          // conversion I/O, which is what the regeneration is.
+          generate_diag(l.group, diag_row);
+        } else {
+          ++stats_.degraded_writes;
+        }
+      } else {
+        ++stats_.degraded_writes;
+      }
     }
   }
 
-  array_.write_block(l.disk, l.block, in);
-  ++stats_.app_writes;
   lk.unlock();
   cv_.notify_all();
+  return IoResult::success();
 }
 
 OnlineStats OnlineMigrator::stats() const {
   std::lock_guard lk(mu_);
   return stats_;
+}
+
+std::int64_t OnlineMigrator::rebuild_failed_disks() {
+  std::lock_guard lk(mu_);
+  if (running_.load()) {
+    throw std::logic_error("rebuild_failed_disks: conversion still running");
+  }
+  std::vector<int> failed;
+  for (int d = 0; d < array_.disks(); ++d) {
+    if (array_.disk_failed(d)) failed.push_back(d);
+  }
+  if (failed.empty()) return 0;
+  const int p = code_.p();
+  const std::size_t bs = array_.block_bytes();
+  std::int64_t rebuilt = 0;
+
+  if (failed.size() == 1 && failed[0] < m_) {
+    // Single source disk: every block is the XOR of its row mates.
+    const int d = failed[0];
+    array_.repair_disk(d);
+    Buffer blk(bs);
+    std::vector<BlockAddr> srcs;
+    for (std::int64_t b = 0; b < array_.blocks_per_disk(); ++b) {
+      srcs.clear();
+      for (int o = 0; o < m_; ++o) {
+        if (o != d) srcs.push_back({o, b});
+      }
+      IoCounters c;
+      if (!xor_chain_read(array_, srcs, blk.span(), retry_, &c).ok() ||
+          !write_block_retry(array_, d, b, blk.span(), retry_, &c).ok()) {
+        throw std::runtime_error("rebuild_failed_disks: disk " +
+                                 std::to_string(d) + " not reconstructible");
+      }
+      stats_.retries += c.retries;
+      ++rebuilt;
+    }
+    return rebuilt;
+  }
+
+  if (failed.size() == 1 && failed[0] == new_disk_) {
+    // The diagonal column is a pure function of the data: regenerate.
+    array_.repair_disk(new_disk_);
+    for (std::int64_t g = 0; g < groups_done_.load(); ++g) {
+      for (int i = 0; i <= p - 2; ++i) {
+        if (!generate_diag(g, i).ok()) {
+          throw std::runtime_error(
+              "rebuild_failed_disks: diagonal column not regenerable");
+        }
+        ++rebuilt;
+      }
+    }
+    return rebuilt;
+  }
+
+  if (failed.size() == 2 && state_ == MigrationState::kDone) {
+    // Double failure after conversion: Algorithm 1 over every group.
+    for (int d : failed) array_.repair_disk(d);
+    Buffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      StripeView v = StripeView::over(stripe, p - 1, p, bs);
+      for (int r = 0; r <= p - 2; ++r) {
+        for (int c = 0; c <= p - 1; ++c) {
+          std::ranges::copy(array_.raw_block(c, g * (p - 1) + r),
+                            v.block({r, c}).begin());
+        }
+      }
+      if (!code_.decode_columns(v, failed).has_value()) {
+        throw std::runtime_error("rebuild_failed_disks: group " +
+                                 std::to_string(g) + " not decodable");
+      }
+      for (int d : failed) {
+        for (int r = 0; r <= p - 2; ++r) {
+          IoCounters c;
+          if (!write_block_retry(array_, d, g * (p - 1) + r,
+                                 v.block({r, d}), retry_, &c)
+                   .ok()) {
+            throw std::runtime_error("rebuild_failed_disks: rewrite failed");
+          }
+          ++rebuilt;
+        }
+      }
+    }
+    return rebuilt;
+  }
+
+  throw std::runtime_error(
+      "rebuild_failed_disks: failure pattern exceeds what the current "
+      "migration state can reconstruct");
 }
 
 bool OnlineMigrator::verify_raid6() const {

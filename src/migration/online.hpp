@@ -13,6 +13,17 @@
 //     already been generated — and then lets the conversion resume,
 //     exactly as the paper's algorithm describes.
 //
+// Fault tolerance (the behaviour Table VI's risk model quantifies):
+// both flows degrade under injected faults instead of crashing.
+// Transient sector errors and torn writes are retried with bounded
+// exponential backoff; a failed source disk is read through the RAID-5
+// horizontal parity (reconstruct-on-read) while the conversion keeps
+// going; unrecoverable patterns (a second concurrent failure) drive the
+// migration into a terminal kAborted state with a reason string. An
+// attached CheckpointSink journals the converter position after every
+// diagonal block, so a killed migration resumes idempotently via
+// resume(), re-verifying the watermark group before continuing.
+//
 // The RAID-6 -> RAID-5 direction is the trivial Step 1-2 of the
 // algorithm: verify the geometry and drop the last column.
 
@@ -21,10 +32,13 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "codes/code56.hpp"
+#include "migration/degraded.hpp"
 #include "migration/disk_array.hpp"
+#include "migration/journal.hpp"
 
 namespace c56::mig {
 
@@ -34,37 +48,82 @@ struct OnlineStats {
   std::uint64_t app_reads = 0;
   std::uint64_t app_writes = 0;
   std::uint64_t interruptions = 0;  // writes that preempted the converter
+  std::uint64_t retries = 0;        // transient-error retries (both flows)
+  std::uint64_t reconstructed_reads = 0;  // reads served through parity
+  std::uint64_t degraded_writes = 0;      // block updates skipped on a
+                                          // failed disk (covered by parity)
 };
+
+enum class MigrationState : std::uint8_t {
+  kIdle,        // constructed, conversion not started
+  kConverting,  // conversion thread active
+  kStopped,     // halted at a checkpoint via request_stop(); resumable
+  kDone,        // every group generated
+  kAborted,     // unrecoverable fault; see abort_reason()
+};
+
+const char* to_string(MigrationState s) noexcept;
 
 class OnlineMigrator {
  public:
   /// `array` must hold m = p-1 disks laid out as a left-asymmetric
   /// RAID-5 whose blocks_per_disk is a multiple of p-1 (one Code 5-6
-  /// stripe group per p-1 rows).
+  /// stripe group per p-1 rows) — or m+1 disks when re-attaching to an
+  /// interrupted migration whose new disk already exists (resume()).
   OnlineMigrator(DiskArray& array, int p);
 
   OnlineMigrator(const OnlineMigrator&) = delete;
   OnlineMigrator& operator=(const OnlineMigrator&) = delete;
+  /// Requests a stop and joins the conversion thread; a migration
+  /// destroyed mid-conversion is left at its last checkpoint.
   ~OnlineMigrator();
 
   const Code56& code() const { return code_; }
   std::int64_t groups() const { return groups_; }
   std::int64_t logical_blocks() const;  // data blocks addressable by apps
 
+  /// Journal the converter position through `sink` (kept by reference;
+  /// must outlive the migrator). Call before start()/resume().
+  void attach_journal(CheckpointSink& sink);
+  /// Retry/backoff policy for transient I/O errors (both flows).
+  void set_retry_policy(const RetryPolicy& policy);
+
   /// Step 2-3 of Algorithm 2: add the new disk and start the
-  /// conversion thread.
+  /// conversion thread. Only valid in state kIdle.
   void start();
-  /// Block until the conversion thread finishes.
+  /// Restart an interrupted conversion from the journal (or from the
+  /// in-memory position when no journal is attached): re-verifies the
+  /// watermark group and the partial diagonal rows of the current
+  /// group, rewinding past anything stale, then continues. Idempotent —
+  /// resuming a finished migration is a no-op.
+  void resume();
+  /// Ask the conversion thread to halt at the next checkpoint (state
+  /// kStopped). Returns immediately; finish() joins.
+  void request_stop();
+  /// Block until the conversion thread exits. Idempotent; safe to call
+  /// whether or not start() ever ran.
   void finish();
+
   bool converting() const { return running_.load(); }
   std::int64_t groups_done() const { return groups_done_.load(); }
+  MigrationState state() const;
+  /// Why the migration aborted (empty unless state() == kAborted).
+  std::string abort_reason() const;
 
   /// Application I/O on logical data blocks (RAID-5 data addressing;
   /// safe to call concurrently with the conversion and with itself).
-  void read_block(std::int64_t logical, std::span<std::uint8_t> out);
-  void write_block(std::int64_t logical, std::span<const std::uint8_t> in);
+  /// Degrades through parity when disks are failed; the result reports
+  /// unrecoverable faults.
+  IoResult read_block(std::int64_t logical, std::span<std::uint8_t> out);
+  IoResult write_block(std::int64_t logical, std::span<const std::uint8_t> in);
 
   OnlineStats stats() const;
+
+  /// Reconstruct every block of every failed disk in place and mark the
+  /// disks healthy again (source disks through the horizontal parity or
+  /// — for double failures after conversion — Algorithm 1; the new disk
+  /// by regenerating its diagonal column). Returns blocks rebuilt.
+  std::int64_t rebuild_failed_disks();
 
   /// Post-conversion check: every stripe group satisfies all Code 5-6
   /// parity chains.
@@ -84,7 +143,19 @@ class OnlineMigrator {
   };
   Locus locate(std::int64_t logical) const;
   void conversion_loop();
-  void generate_diag(std::int64_t group, int diag_row);
+  void launch_locked();
+  void abort_locked(std::string reason);
+  /// Generate diagonal-parity row `diag_row` of `group` from its chain
+  /// (degrades through reconstruction). mu_ must be held.
+  IoResult generate_diag(std::int64_t group, int diag_row);
+  /// Read a source-array block, reconstructing through the RAID-5
+  /// horizontal parity when the disk is failed or the block unreadable.
+  /// mu_ must be held.
+  IoResult read_source(int disk, std::int64_t block,
+                       std::span<std::uint8_t> out, bool conversion);
+  /// First diagonal row of `group` in [0, upto) whose stored parity
+  /// does not match a recomputation (upto if all match). mu_ held.
+  int first_stale_diag(std::int64_t group, int upto);
 
   DiskArray& array_;
   Code56 code_;
@@ -96,12 +167,20 @@ class OnlineMigrator {
   std::condition_variable cv_;
   std::atomic<int> pending_writers_{0};
   std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
   std::atomic<std::int64_t> groups_done_{0};
   // Diagonal-parity progress: for the group currently being converted,
   // how many diagonal rows are already on disk. Groups below
   // groups_done_ are fully generated.
   std::int64_t current_group_ = 0;
   int current_diag_rows_ = 0;
+  std::int64_t start_group_ = 0;  // conversion-loop entry point
+  int start_row_ = 0;
+
+  MigrationState state_ = MigrationState::kIdle;
+  std::string abort_reason_;
+  RetryPolicy retry_;
+  std::optional<MigrationJournal> journal_;
 
   std::thread worker_;
   OnlineStats stats_;

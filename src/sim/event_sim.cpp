@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace c56::sim {
@@ -21,7 +22,18 @@ SimResult ArraySimulator::run(const Trace& trace) {
   // the next arrival when drained; disks are independent, so per-disk
   // chains of completions are exact without a global event queue. The
   // queue is rebuilt per phase and a phase begins only after the
-  // previous one fully completes.
+  // previous one fully completes. DiskFail/DiskRepair events flip a
+  // per-disk availability flag (persistent across phases): a request
+  // whose service would start while its disk is failed is rejected with
+  // no service time. An event landing inside an in-flight request does
+  // not preempt it.
+  std::vector<char> failed(models_.size(), 0);
+  struct AbsEvent {
+    double at_ms;
+    int disk;
+    DiskEventKind kind;
+  };
+  std::vector<AbsEvent> all_events;
   double now = 0.0;
   for (const Phase& phase : trace.phases) {
     std::vector<std::vector<const Request*>> queues(models_.size());
@@ -31,6 +43,21 @@ SimResult ArraySimulator::run(const Trace& trace) {
       }
       queues[static_cast<std::size_t>(r.disk)].push_back(&r);
     }
+    std::vector<std::vector<AbsEvent>> events(models_.size());
+    for (const DiskEvent& e : phase.events) {
+      if (e.disk < 0 || e.disk >= disks()) {
+        throw std::out_of_range("disk event targets unknown disk");
+      }
+      const AbsEvent ae{now + e.at_ms, e.disk, e.kind};
+      events[static_cast<std::size_t>(e.disk)].push_back(ae);
+      all_events.push_back(ae);
+    }
+    for (auto& ev : events) {
+      std::stable_sort(ev.begin(), ev.end(),
+                       [](const AbsEvent& a, const AbsEvent& b) {
+                         return a.at_ms < b.at_ms;
+                       });
+    }
     double phase_end = now;
     for (std::size_t d = 0; d < queues.size(); ++d) {
       auto& q = queues[d];
@@ -39,21 +66,54 @@ SimResult ArraySimulator::run(const Trace& trace) {
                          return a->issue_ms < b->issue_ms;
                        });
       double free_at = now;
+      std::size_t ecur = 0;
+      const auto apply_events_until = [&](double t) {
+        while (ecur < events[d].size() && events[d][ecur].at_ms <= t) {
+          failed[d] = events[d][ecur].kind == DiskEventKind::kDiskFail;
+          ++ecur;
+        }
+      };
       for (const Request* r : q) {
         const double arrival = now + r->issue_ms;
         const double start = std::max(free_at, arrival);
+        apply_events_until(start);
+        if (failed[d]) {
+          ++result.requests_failed;
+          ++result.failed_by_tag[r->tag];
+          continue;
+        }
         const double svc = models_[d].service_time_ms(r->lba, r->bytes);
         free_at = start + svc;
         result.disk_busy_ms[d] += svc;
         ++result.requests_served;
         result.latency_by_tag[r->tag].add(free_at - arrival);
       }
+      apply_events_until(std::numeric_limits<double>::infinity());
       phase_end = std::max(phase_end, free_at);
     }
     now = phase_end;
     result.phase_end_ms.push_back(now);
   }
   result.makespan_ms = now;
+
+  // Peak failure concurrency: replay all events in absolute time order.
+  std::stable_sort(all_events.begin(), all_events.end(),
+                   [](const AbsEvent& a, const AbsEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  std::vector<char> down(models_.size(), 0);
+  int concurrent = 0;
+  for (const AbsEvent& e : all_events) {
+    const auto d = static_cast<std::size_t>(e.disk);
+    if (e.kind == DiskEventKind::kDiskFail && !down[d]) {
+      down[d] = 1;
+      result.max_concurrent_failures =
+          std::max(result.max_concurrent_failures, ++concurrent);
+    } else if (e.kind == DiskEventKind::kDiskRepair && down[d]) {
+      down[d] = 0;
+      --concurrent;
+    }
+  }
   return result;
 }
 

@@ -37,6 +37,14 @@ struct SimResult {
   std::size_t requests_served = 0;
   /// Completion-minus-arrival statistics per request tag.
   std::map<int, LatencyStats> latency_by_tag;
+  /// Requests rejected because their disk was failed when service would
+  /// have started (DiskFail/DiskRepair trace events).
+  std::size_t requests_failed = 0;
+  std::map<int, std::size_t> failed_by_tag;
+  /// Peak number of simultaneously failed disks over the whole trace —
+  /// the quantity the Table VI risk model compares against the window's
+  /// fault tolerance.
+  int max_concurrent_failures = 0;
 };
 
 class ArraySimulator {

@@ -24,4 +24,10 @@ std::size_t Trace::total_writes() const {
   return n;
 }
 
+std::size_t Trace::total_disk_events() const {
+  std::size_t n = 0;
+  for (const Phase& ph : phases) n += ph.events.size();
+  return n;
+}
+
 }  // namespace c56::sim

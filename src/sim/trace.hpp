@@ -26,9 +26,22 @@ struct Request {
   int tag = 0;
 };
 
+/// Disk state transitions injected into a phase: a failed disk rejects
+/// every request whose service would start while it is down, until a
+/// matching repair event. State persists across phase boundaries.
+enum class DiskEventKind : std::uint8_t { kDiskFail, kDiskRepair };
+
+struct DiskEvent {
+  int disk = 0;
+  /// Event time relative to the phase start (like Request::issue_ms).
+  double at_ms = 0.0;
+  DiskEventKind kind = DiskEventKind::kDiskFail;
+};
+
 struct Phase {
   std::string name;
   std::vector<Request> requests;
+  std::vector<DiskEvent> events;
 };
 
 struct Trace {
@@ -37,6 +50,7 @@ struct Trace {
   std::size_t total_requests() const;
   std::size_t total_reads() const;
   std::size_t total_writes() const;
+  std::size_t total_disk_events() const;
 };
 
 }  // namespace c56::sim

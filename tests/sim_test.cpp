@@ -56,7 +56,7 @@ TEST(DiskModel, ResetForgetsPosition) {
 
 Trace one_phase(std::vector<Request> reqs) {
   Trace t;
-  t.phases.push_back({"phase", std::move(reqs)});
+  t.phases.push_back({"phase", std::move(reqs), {}});
   return t;
 }
 
@@ -88,8 +88,8 @@ TEST(ArraySimulator, PhasesAreSequential) {
   const Request a{0, 0, 4096, Op::kRead};
   const Request b{1, 0, 4096, Op::kRead};
   Trace two;
-  two.phases.push_back({"p1", {a}});
-  two.phases.push_back({"p2", {b}});
+  two.phases.push_back({"p1", {a}, {}});
+  two.phases.push_back({"p2", {b}, {}});
   ArraySimulator sim(2);
   const auto r = sim.run(two);
   // Disk 1's request cannot start before phase 1 ends even though the
@@ -145,10 +145,78 @@ TEST(ArraySimulator, RejectsUnknownDisk) {
                std::out_of_range);
 }
 
+TEST(ArraySimulator, FailedDiskRejectsRequests) {
+  Trace t;
+  t.phases.push_back({"p",
+                      {{0, 0, 4096, Op::kRead, 0.0, /*tag=*/1},
+                       {1, 0, 4096, Op::kRead, 0.0, /*tag=*/2}},
+                      {{0, 0.0, DiskEventKind::kDiskFail}}});
+  ArraySimulator sim(2);
+  const auto r = sim.run(t);
+  EXPECT_EQ(r.requests_served, 1u);
+  EXPECT_EQ(r.requests_failed, 1u);
+  EXPECT_EQ(r.failed_by_tag.at(1), 1u);
+  EXPECT_EQ(r.failed_by_tag.count(2), 0u);
+  EXPECT_NEAR(r.disk_busy_ms[0], 0.0, 1e-12);  // rejected: no service
+  EXPECT_GT(r.disk_busy_ms[1], 0.0);
+  EXPECT_EQ(r.max_concurrent_failures, 1);
+}
+
+TEST(ArraySimulator, RepairRestoresService) {
+  Trace t;
+  t.phases.push_back({"p",
+                      {{0, 0, 4096, Op::kRead, 0.0, 1},    // during outage
+                       {0, 0, 4096, Op::kRead, 50.0, 2}},  // after repair
+                      {{0, 0.0, DiskEventKind::kDiskFail},
+                       {0, 10.0, DiskEventKind::kDiskRepair}}});
+  ArraySimulator sim(1);
+  const auto r = sim.run(t);
+  EXPECT_EQ(r.requests_failed, 1u);
+  EXPECT_EQ(r.failed_by_tag.at(1), 1u);
+  EXPECT_EQ(r.requests_served, 1u);
+  EXPECT_EQ(r.latency_by_tag.at(2).count, 1u);
+  EXPECT_EQ(r.max_concurrent_failures, 1);
+}
+
+TEST(ArraySimulator, FailureStatePersistsAcrossPhases) {
+  Trace t;
+  t.phases.push_back({"fail", {}, {{0, 0.0, DiskEventKind::kDiskFail}}});
+  t.phases.push_back({"degraded", {{0, 0, 4096, Op::kRead}}, {}});
+  t.phases.push_back({"repaired",
+                      {{0, 0, 4096, Op::kRead, 1.0}},
+                      {{0, 0.0, DiskEventKind::kDiskRepair}}});
+  EXPECT_EQ(t.total_disk_events(), 2u);
+  ArraySimulator sim(1);
+  const auto r = sim.run(t);
+  EXPECT_EQ(r.requests_failed, 1u) << "phase-1 failure must hit phase 2";
+  EXPECT_EQ(r.requests_served, 1u);
+}
+
+TEST(ArraySimulator, MaxConcurrentFailuresTracksOverlap) {
+  Trace t;
+  t.phases.push_back({"p",
+                      {},
+                      {{0, 0.0, DiskEventKind::kDiskFail},
+                       {0, 0.5, DiskEventKind::kDiskFail},  // double-fail: noop
+                       {1, 1.0, DiskEventKind::kDiskFail},
+                       {0, 2.0, DiskEventKind::kDiskRepair},
+                       {2, 3.0, DiskEventKind::kDiskFail}}});
+  ArraySimulator sim(3);
+  const auto r = sim.run(t);
+  EXPECT_EQ(r.max_concurrent_failures, 2);
+}
+
+TEST(ArraySimulator, EventOnUnknownDiskRejected) {
+  Trace t;
+  t.phases.push_back({"p", {}, {{7, 0.0, DiskEventKind::kDiskFail}}});
+  ArraySimulator sim(2);
+  EXPECT_THROW(sim.run(t), std::out_of_range);
+}
+
 TEST(TraceCounters, CountReadsAndWrites) {
   Trace t;
-  t.phases.push_back({"a", {{0, 0, 1, Op::kRead}, {0, 0, 1, Op::kWrite}}});
-  t.phases.push_back({"b", {{0, 0, 1, Op::kWrite}}});
+  t.phases.push_back({"a", {{0, 0, 1, Op::kRead}, {0, 0, 1, Op::kWrite}}, {}});
+  t.phases.push_back({"b", {{0, 0, 1, Op::kWrite}}, {}});
   EXPECT_EQ(t.total_requests(), 3u);
   EXPECT_EQ(t.total_reads(), 1u);
   EXPECT_EQ(t.total_writes(), 2u);

@@ -13,7 +13,7 @@ namespace {
 
 Trace one_phase(std::vector<Request> reqs) {
   Trace t;
-  t.phases.push_back({"phase", std::move(reqs)});
+  t.phases.push_back({"phase", std::move(reqs), {}});
   return t;
 }
 
