@@ -193,13 +193,14 @@ DecodeStats Code56::recover_single_column_hybrid(StripeView s, int col) const {
 
   DecodeStats stats;
   stats.cells_read = best_reads;
+  std::vector<const std::uint8_t*> srcs;
   for (std::size_t i = 0; i < k; ++i) {
-    auto dst = s.block(lost[i]);
-    std::ranges::fill(dst, std::uint8_t{0});
+    srcs.clear();
     for (int src : options[i][static_cast<std::size_t>(best[i])].sources) {
-      xor_into(dst, s.block(src));
+      srcs.push_back(s.block(src).data());
       ++stats.xor_ops;
     }
+    xor_accumulate(s.block(lost[i]), srcs);
   }
   return stats;
 }
@@ -226,16 +227,16 @@ DecodeStats Code56::recover_single_column_plain(StripeView s, int col) const {
       }
     }
     assert(row_chain != nullptr);
-    auto dst = s.block(c);
-    std::ranges::fill(dst, std::uint8_t{0});
+    std::vector<const std::uint8_t*> srcs;
     auto use = [&](Cell src) {
       if (src == c) return;
-      xor_into(dst, s.block(src));
+      srcs.push_back(s.block(src).data());
       ++stats.xor_ops;
       reads.insert(flat_index(src, cols()));
     };
     if (row_chain->parity != c) use(row_chain->parity);
     for (Cell in : row_chain->inputs) use(in);
+    xor_accumulate(s.block(c), srcs);
   }
   stats.cells_read = reads.size();
   return stats;

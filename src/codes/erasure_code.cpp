@@ -58,10 +58,11 @@ void ErasureCode::encode(StripeView s) const {
       }
     }
   }
+  std::vector<const std::uint8_t*> srcs;
   for (const ParityChain& ch : chains()) {
-    auto dst = s.block(ch.parity);
-    std::ranges::fill(dst, std::uint8_t{0});
-    for (Cell in : ch.inputs) xor_into(dst, s.block(in));
+    srcs.clear();
+    for (Cell in : ch.inputs) srcs.push_back(s.block(in).data());
+    xor_accumulate(s.block(ch.parity), srcs);
   }
 }
 
@@ -74,10 +75,12 @@ bool ErasureCode::verify(StripeView s) const {
       }
     }
   }
+  std::vector<const std::uint8_t*> srcs;
   for (const ParityChain& ch : chains()) {
-    acc.zero();
-    xor_into(acc.span(), s.block(ch.parity));
-    for (Cell in : ch.inputs) xor_into(acc.span(), s.block(in));
+    srcs.clear();
+    srcs.push_back(s.block(ch.parity).data());
+    for (Cell in : ch.inputs) srcs.push_back(s.block(in).data());
+    xor_accumulate(acc.span(), srcs);
     if (!all_zero(acc.span())) return false;
   }
   return true;
@@ -118,14 +121,15 @@ DecodeStats ErasureCode::apply_recipes(
     StripeView s, std::span<const RecoveryRecipe> recipes) {
   DecodeStats stats;
   std::set<int> distinct;
+  std::vector<const std::uint8_t*> srcs;
   for (const RecoveryRecipe& rec : recipes) {
-    auto dst = s.block(rec.target);
-    std::ranges::fill(dst, std::uint8_t{0});
+    srcs.clear();
     for (int src : rec.sources) {
-      xor_into(dst, s.block(src));
+      srcs.push_back(s.block(src).data());
       ++stats.xor_ops;
       distinct.insert(src);
     }
+    xor_accumulate(s.block(rec.target), srcs);
   }
   stats.cells_read = distinct.size();
   return stats;

@@ -37,6 +37,7 @@ std::optional<DecodeStats> peel_decode(std::span<const ChainSpec> chains,
   DecodeStats stats;
   std::set<int> reads;  // distinct surviving cells fetched
   std::vector<char> was_erased(unknown.begin(), unknown.end());
+  std::vector<const std::uint8_t*> srcs;
 
   while (!ready.empty() && remaining > 0) {
     const int q = ready.back();
@@ -49,14 +50,14 @@ std::optional<DecodeStats> peel_decode(std::span<const ChainSpec> chains,
         break;
       }
     }
-    auto dst = s.block(target);
-    std::ranges::fill(dst, std::uint8_t{0});
+    srcs.clear();
     for (int cell : chains[static_cast<std::size_t>(q)].cells) {
       if (cell == target) continue;
-      xor_into(dst, s.block(cell));
+      srcs.push_back(s.block(cell).data());
       ++stats.xor_ops;
       if (!was_erased[static_cast<std::size_t>(cell)]) reads.insert(cell);
     }
+    xor_accumulate(s.block(target), srcs);
     unknown[static_cast<std::size_t>(target)] = 0;
     --remaining;
     for (int q2 : chains_of_cell[static_cast<std::size_t>(target)]) {

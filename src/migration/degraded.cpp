@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "xorblk/buffer.hpp"
 #include "xorblk/xor.hpp"
@@ -55,14 +56,20 @@ IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
 IoResult xor_chain_read(DiskArray& a, std::span<const BlockAddr> sources,
                         std::span<std::uint8_t> out,
                         const RetryPolicy& policy, IoCounters* counters) {
-  std::ranges::fill(out, std::uint8_t{0});
-  Buffer tmp(a.block_bytes());
-  for (const BlockAddr& s : sources) {
-    const IoResult r =
-        read_block_retry(a, s.disk, s.block, tmp.span(), policy, counters);
+  // Stage every chain member into one arena, then fold them in a single
+  // accumulate pass — the parity is produced without re-reading out.
+  const std::size_t bs = a.block_bytes();
+  Buffer arena(bs * sources.size());
+  std::vector<const std::uint8_t*> srcs;
+  srcs.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    auto slot = arena.block(i, bs);
+    const IoResult r = read_block_retry(a, sources[i].disk, sources[i].block,
+                                        slot, policy, counters);
     if (!r.ok()) return r;
-    xor_into(out, tmp.span());
+    srcs.push_back(slot.data());
   }
+  xor_accumulate(out, srcs);
   return IoResult::success();
 }
 

@@ -1,5 +1,7 @@
 #include "migration/online.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -48,11 +50,17 @@ OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
         "OnlineMigrator: blocks per disk must be a multiple of p-1");
   }
   groups_ = array.blocks_per_disk() / (p - 1);
+  rows_done_ =
+      std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(groups_));
+  if (const char* env = std::getenv("C56_CONVERT_WORKERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) workers_requested_ = std::min(n, 64);
+  }
 }
 
 OnlineMigrator::~OnlineMigrator() {
   request_stop();
-  if (worker_.joinable()) worker_.join();
+  finish();
 }
 
 std::int64_t OnlineMigrator::logical_blocks() const {
@@ -86,7 +94,26 @@ void OnlineMigrator::attach_journal(CheckpointSink& sink) {
 
 void OnlineMigrator::set_retry_policy(const RetryPolicy& policy) {
   std::lock_guard lk(mu_);
+  if (running_.load()) {
+    throw std::logic_error("set_retry_policy: conversion already running");
+  }
   retry_ = policy;
+}
+
+void OnlineMigrator::set_workers(int n) {
+  std::lock_guard lk(mu_);
+  if (running_.load()) {
+    throw std::logic_error("set_workers: conversion already running");
+  }
+  if (n < 1) {
+    throw std::invalid_argument("set_workers: need at least one worker");
+  }
+  workers_requested_ = std::min(n, 64);
+}
+
+int OnlineMigrator::workers() const {
+  std::lock_guard lk(mu_);
+  return workers_requested_;
 }
 
 void OnlineMigrator::start() {
@@ -97,12 +124,18 @@ void OnlineMigrator::start() {
   if (new_disk_ < 0) new_disk_ = array_.add_disk();  // Step 2
   start_group_ = 0;
   start_row_ = 0;
-  if (journal_) journal_->record(0, 0);
+  groups_done_.store(0);
+  for (std::int64_t g = 0; g < groups_; ++g) rows_done_[g].store(0);
+  if (journal_) {
+    std::lock_guard pk(progress_mu_);
+    journal_->record(0, 0);
+  }
   launch_locked();
 }
 
 void OnlineMigrator::resume() {
-  finish();  // join a stopped worker before restarting
+  finish();  // join stopped workers before restarting
+  std::unique_lock ops(ops_mu_);  // exclude app I/O while re-verifying
   std::lock_guard lk(mu_);
   switch (state_) {
     case MigrationState::kIdle:
@@ -117,8 +150,8 @@ void OnlineMigrator::resume() {
   }
   if (new_disk_ < 0) new_disk_ = array_.add_disk();
   const int p = code_.p();
-  std::int64_t g = current_group_;
-  int rows = current_diag_rows_;
+  std::int64_t g = groups_done_.load();
+  int rows = g < groups_ ? rows_done_[g].load() : 0;
   if (journal_) {
     if (const auto rec = journal_->recover()) {
       g = std::min(rec->groups_done, groups_);
@@ -145,8 +178,11 @@ void OnlineMigrator::resume() {
   start_group_ = g;
   start_row_ = g < groups_ ? rows : 0;
   groups_done_.store(g);
-  current_group_ = g;
-  current_diag_rows_ = start_row_;
+  // Groups past the watermark may hold diagonals from a previous run;
+  // they are regenerated (idempotently), so forget them.
+  for (std::int64_t i = 0; i < groups_; ++i) {
+    rows_done_[i].store(i < g ? p - 1 : (i == g ? start_row_ : 0));
+  }
   if (g >= groups_) {
     state_ = MigrationState::kDone;
     return;
@@ -155,10 +191,26 @@ void OnlineMigrator::resume() {
 }
 
 void OnlineMigrator::launch_locked() {
+  const std::int64_t total = groups_ - start_group_;
+  const int n = static_cast<int>(std::clamp<std::int64_t>(
+      workers_requested_, 1, std::max<std::int64_t>(total, 1)));
+  ranges_.clear();
+  ranges_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    auto r = std::make_unique<WorkerRange>();
+    r->lo = start_group_ + total * w / n;
+    r->hi = start_group_ + total * (w + 1) / n;
+    ranges_.push_back(std::move(r));
+  }
   state_ = MigrationState::kConverting;
   stop_requested_.store(false);
   running_.store(true);
-  worker_ = std::thread([this] { conversion_loop(); });
+  active_workers_.store(n);
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_entry(w); });
+  }
 }
 
 void OnlineMigrator::request_stop() {
@@ -167,7 +219,9 @@ void OnlineMigrator::request_stop() {
 }
 
 void OnlineMigrator::finish() {
-  if (worker_.joinable()) worker_.join();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 MigrationState OnlineMigrator::state() const {
@@ -185,10 +239,19 @@ void OnlineMigrator::abort_locked(std::string reason) {
   abort_reason_ = std::move(reason);
 }
 
+void OnlineMigrator::abort_from_io(std::string reason) {
+  {
+    std::lock_guard lk(mu_);
+    if (state_ == MigrationState::kConverting) abort_locked(std::move(reason));
+  }
+  cv_.notify_all();
+}
+
 IoResult OnlineMigrator::read_source(int disk, std::int64_t block,
                                      std::span<std::uint8_t> out,
                                      bool conversion) {
   IoCounters c;
+  bool reconstructed = false;
   IoResult r = IoResult::fail(IoStatus::kDiskFailed, disk, block);
   if (!array_.disk_failed(disk)) {
     r = read_block_retry(array_, disk, block, out, retry_, &c);
@@ -211,108 +274,187 @@ IoResult OnlineMigrator::read_source(int disk, std::int64_t block,
     }
     if (possible) {
       const IoResult rr = xor_chain_read(array_, srcs, out, retry_, &c);
-      if (rr.ok()) ++stats_.reconstructed_reads;
+      if (rr.ok()) reconstructed = true;
       r = rr;
     }
   }
-  (conversion ? stats_.conv_reads : stats_.app_reads) += c.reads;
-  stats_.retries += c.retries;
+  {
+    std::lock_guard sk(stats_mu_);
+    (conversion ? stats_.conv_reads : stats_.app_reads) += c.reads;
+    stats_.retries += c.retries;
+    if (reconstructed) ++stats_.reconstructed_reads;
+  }
   return r;
 }
 
 IoResult OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
   // Chain for diagonal parity row i (Eq. 2): data cells
-  // (<i-1-j> mod p, j), j != i.
+  // (<i-1-j> mod p, j), j != i. The chain members are staged into one
+  // arena, then folded with a single accumulate pass.
   const int p = code_.p();
-  Buffer acc(array_.block_bytes());
-  Buffer tmp(array_.block_bytes());
+  const std::size_t bs = array_.block_bytes();
+  Buffer arena(bs * static_cast<std::size_t>(p - 2));
+  Buffer acc(bs);
+  std::vector<const std::uint8_t*> srcs;
+  srcs.reserve(static_cast<std::size_t>(p - 2));
   for (int j = 0; j <= p - 2; ++j) {
     if (j == diag_row) continue;
     const int r = pmod(diag_row - 1 - j, p);
+    auto slot = arena.block(srcs.size(), bs);
     const IoResult res =
-        read_source(j, group * (p - 1) + r, tmp.span(), /*conversion=*/true);
+        read_source(j, group * (p - 1) + r, slot, /*conversion=*/true);
     if (!res.ok()) return res;
-    xor_into(acc.span(), tmp.span());
+    srcs.push_back(slot.data());
   }
+  xor_accumulate(acc.span(), srcs);
   IoCounters c;
   const IoResult res =
       write_block_retry(array_, new_disk_, group * (p - 1) + diag_row,
                         acc.span(), retry_, &c);
-  stats_.conv_writes += c.writes;
-  stats_.retries += c.retries;
+  {
+    std::lock_guard sk(stats_mu_);
+    stats_.conv_writes += c.writes;
+    stats_.retries += c.retries;
+  }
   return res;
 }
 
 int OnlineMigrator::first_stale_diag(std::int64_t group, int upto) {
   const int p = code_.p();
-  Buffer acc(array_.block_bytes());
-  Buffer tmp(array_.block_bytes());
+  const std::size_t bs = array_.block_bytes();
+  Buffer arena(bs * static_cast<std::size_t>(p - 2));
+  Buffer acc(bs);
+  std::vector<const std::uint8_t*> srcs;
   for (int i = 0; i < upto; ++i) {
-    acc.zero();
+    srcs.clear();
+    bool readable = true;
     for (int j = 0; j <= p - 2; ++j) {
       if (j == i) continue;
       const int r = pmod(i - 1 - j, p);
-      if (!read_source(j, group * (p - 1) + r, tmp.span(), true).ok()) {
-        return i;  // unreadable chain: let the conversion loop retry it
+      auto slot = arena.block(srcs.size(), bs);
+      if (!read_source(j, group * (p - 1) + r, slot, true).ok()) {
+        readable = false;  // unreadable chain: let the conversion retry it
+        break;
       }
-      xor_into(acc.span(), tmp.span());
+      srcs.push_back(slot.data());
     }
+    if (!readable) return i;
+    xor_accumulate(acc.span(), srcs);
     const auto stored = array_.raw_block(new_disk_, group * (p - 1) + i);
     if (!std::ranges::equal(acc.span(), stored)) return i;
   }
   return upto;
 }
 
-void OnlineMigrator::conversion_loop() {
-  const int p = code_.p();
-  int i0 = start_row_;
-  for (std::int64_t g = start_group_; g < groups_; ++g) {
-    for (int i = i0; i <= p - 2; ++i) {
-      std::unique_lock lk(mu_);
-      // A pending application write preempts the converter between
-      // parity blocks (Algorithm 2, "interrupt the conversion thread").
-      cv_.wait(lk, [this] {
-        return pending_writers_.load() == 0 || stop_requested_.load() ||
-               state_ == MigrationState::kAborted;
-      });
-      if (state_ == MigrationState::kAborted) {
-        running_.store(false);
-        return;
+std::int64_t OnlineMigrator::claim_group(int w) {
+  {
+    WorkerRange& own = *ranges_[static_cast<std::size_t>(w)];
+    std::lock_guard lk(own.mu);
+    if (own.lo < own.hi) return own.lo++;
+  }
+  // Own range drained: steal the tail group of the fullest remaining
+  // range, so owners keep consuming their front in sequential order.
+  for (;;) {
+    int victim = -1;
+    std::int64_t best = 0;
+    for (int v = 0; v < static_cast<int>(ranges_.size()); ++v) {
+      if (v == w) continue;
+      WorkerRange& r = *ranges_[static_cast<std::size_t>(v)];
+      std::lock_guard lk(r.mu);
+      if (r.hi - r.lo > best) {
+        best = r.hi - r.lo;
+        victim = v;
       }
-      if (stop_requested_.load()) {
-        state_ = MigrationState::kStopped;
-        running_.store(false);
-        return;
-      }
-      const IoResult res = generate_diag(g, i);
-      if (!res.ok()) {
-        abort_locked("conversion cannot generate diagonal row " +
-                     std::to_string(i) + " of group " + std::to_string(g) +
-                     ": " + describe(res));
-        running_.store(false);
-        return;
-      }
-      current_diag_rows_ = i + 1;
-      if (journal_) journal_->record(g, i + 1);
     }
-    i0 = 0;
-    {
-      std::lock_guard lk(mu_);
-      groups_done_.store(g + 1);
-      current_group_ = g + 1;
-      current_diag_rows_ = 0;
-      if (journal_) journal_->record(g + 1, 0);
+    if (victim < 0) return -1;
+    WorkerRange& r = *ranges_[static_cast<std::size_t>(victim)];
+    std::lock_guard lk(r.mu);
+    if (r.lo < r.hi) return --r.hi;
+    // Drained between the scan and the lock; rescan for another victim.
+  }
+}
+
+void OnlineMigrator::note_progress(std::int64_t group, int rows) {
+  const int p = code_.p();
+  std::lock_guard pk(progress_mu_);
+  if (group == groups_done_.load()) {
+    // Row-level checkpoint of the watermark group. With one worker this
+    // reproduces the sequential converter's journal sequence exactly.
+    if (journal_) journal_->record(group, rows);
+  }
+  if (rows == p - 1) {
+    const std::int64_t old = groups_done_.load();
+    std::int64_t wm = old;
+    while (wm < groups_ &&
+           rows_done_[wm].load(std::memory_order_acquire) == p - 1) {
+      ++wm;
+    }
+    if (wm != old) {
+      groups_done_.store(wm);
+      if (journal_) {
+        const int r =
+            wm < groups_ ? rows_done_[wm].load(std::memory_order_acquire) : 0;
+        journal_->record(wm, r);
+      }
     }
   }
-  std::lock_guard lk(mu_);
-  state_ = MigrationState::kDone;
-  running_.store(false);
+}
+
+void OnlineMigrator::conversion_worker(int w) {
+  const int p = code_.p();
+  for (;;) {
+    const std::int64_t g = claim_group(w);
+    if (g < 0) return;
+    const int first = g == start_group_ ? start_row_ : 0;
+    for (int i = first; i <= p - 2; ++i) {
+      {
+        std::unique_lock lk(mu_);
+        // A pending application write preempts the converter between
+        // parity blocks (Algorithm 2, "interrupt the conversion
+        // thread").
+        cv_.wait(lk, [this] {
+          return pending_writers_.load() == 0 || stop_requested_.load() ||
+                 state_ == MigrationState::kAborted;
+        });
+        if (state_ == MigrationState::kAborted || stop_requested_.load()) {
+          return;
+        }
+      }
+      {
+        std::shared_lock ops(ops_mu_);
+        std::lock_guard gl(group_lock(g));
+        const IoResult res = generate_diag(g, i);
+        if (!res.ok()) {
+          abort_from_io("conversion cannot generate diagonal row " +
+                        std::to_string(i) + " of group " + std::to_string(g) +
+                        ": " + describe(res));
+          return;
+        }
+        rows_done_[g].store(i + 1, std::memory_order_release);
+      }
+      note_progress(g, i + 1);
+    }
+  }
+}
+
+void OnlineMigrator::worker_entry(int w) {
+  conversion_worker(w);
+  if (active_workers_.fetch_sub(1) == 1) {
+    // Last worker out decides the terminal state.
+    std::lock_guard lk(mu_);
+    if (state_ == MigrationState::kConverting) {
+      state_ = groups_done_.load() >= groups_ ? MigrationState::kDone
+                                              : MigrationState::kStopped;
+    }
+    running_.store(false);
+  }
 }
 
 IoResult OnlineMigrator::read_block(std::int64_t logical,
                                     std::span<std::uint8_t> out) {
   const Locus l = locate(logical);
-  std::lock_guard lk(mu_);
+  std::shared_lock ops(ops_mu_);
+  std::lock_guard gl(group_lock(l.group));
   return read_source(l.disk, l.block, out, /*conversion=*/false);
 }
 
@@ -321,9 +463,18 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
   const Locus l = locate(logical);
   const int p = code_.p();
   pending_writers_.fetch_add(1);
-  std::unique_lock lk(mu_);
+  // Wake the workers once the write is out of the way (or bailed out).
+  struct Notifier {
+    std::condition_variable& cv;
+    ~Notifier() { cv.notify_all(); }
+  } notify{cv_};
+  std::shared_lock ops(ops_mu_);
+  std::unique_lock gl(group_lock(l.group));
   pending_writers_.fetch_sub(1);
-  if (running_.load()) ++stats_.interruptions;
+  if (running_.load()) {
+    std::lock_guard sk(stats_mu_);
+    ++stats_.interruptions;
+  }
 
   const std::size_t bs = array_.block_bytes();
   Buffer old_data(bs), delta(bs), par(bs);
@@ -332,13 +483,8 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
     // The pre-image is gone: the write (and the block) cannot be kept
     // consistent. Mid-conversion this is the data-loss event Table VI
     // prices, so the migration aborts.
-    if (state_ == MigrationState::kConverting) {
-      abort_locked("application write lost logical block " +
-                   std::to_string(logical) + ": " + describe(oldr));
-      lk.unlock();
-      cv_.notify_all();
-      return oldr;
-    }
+    abort_from_io("application write lost logical block " +
+                  std::to_string(logical) + ": " + describe(oldr));
     return oldr;
   }
   xor_to(delta.data(), old_data.data(), in.data(), bs);
@@ -355,12 +501,18 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
       IoCounters c;
       const IoResult w =
           write_block_retry(array_, hpar_disk, l.block, par.span(), retry_, &c);
-      stats_.app_writes += c.writes;
-      stats_.retries += c.retries;
+      {
+        std::lock_guard sk(stats_mu_);
+        stats_.app_writes += c.writes;
+        stats_.retries += c.retries;
+      }
       parity_updated = w.ok();
     }
   }
-  if (!parity_updated) ++stats_.degraded_writes;
+  if (!parity_updated) {
+    std::lock_guard sk(stats_mu_);
+    ++stats_.degraded_writes;
+  }
 
   // Data block itself.
   bool data_written = false;
@@ -368,32 +520,33 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
     IoCounters c;
     const IoResult w =
         write_block_retry(array_, l.disk, l.block, in, retry_, &c);
-    stats_.app_writes += c.writes;
-    stats_.retries += c.retries;
+    {
+      std::lock_guard sk(stats_mu_);
+      stats_.app_writes += c.writes;
+      stats_.retries += c.retries;
+    }
     data_written = w.ok();
   } else {
+    std::lock_guard sk(stats_mu_);
     ++stats_.degraded_writes;
   }
 
   if (!data_written && !parity_updated) {
     // Neither replica of the update is durable: unrecoverable.
     const IoResult res = IoResult::fail(IoStatus::kDiskFailed, l.disk, l.block);
-    if (state_ == MigrationState::kConverting) {
-      abort_locked("application write lost logical block " +
-                   std::to_string(logical) + ": data and parity disks failed");
-    }
-    lk.unlock();
-    cv_.notify_all();
+    abort_from_io("application write lost logical block " +
+                  std::to_string(logical) + ": data and parity disks failed");
     return res;
   }
 
   // Diagonal parity: only if this block's diagonal chain is already on
-  // the new disk (otherwise the converter will fold the new value in).
+  // the new disk (otherwise the group's owner will fold the new value
+  // in). rows_done_ is read under the same group lock the owner stores
+  // it under, so the check cannot race a half-written diagonal.
   if (new_disk_ >= 0) {
     const int diag_row = pmod(l.row + l.disk + 1, p);
     const bool generated =
-        l.group < groups_done_.load() ||
-        (l.group == current_group_ && diag_row < current_diag_rows_);
+        rows_done_[l.group].load(std::memory_order_acquire) > diag_row;
     // The horizontal-parity anti-diagonal (row + col == p-2) is on no
     // diagonal chain -- but locate() only yields data cells, and every
     // data cell is on exactly one chain, so diag_row is always valid.
@@ -403,44 +556,54 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
         IoCounters c;
         const IoResult r =
             read_block_retry(array_, new_disk_, db, par.span(), retry_, &c);
-        stats_.app_reads += c.reads;
-        stats_.retries += c.retries;
+        {
+          std::lock_guard sk(stats_mu_);
+          stats_.app_reads += c.reads;
+          stats_.retries += c.retries;
+        }
         if (r.ok()) {
           const IoResult w = [&] {
             xor_into(par.span(), delta.span());
             IoCounters wc;
-            const IoResult res =
-                write_block_retry(array_, new_disk_, db, par.span(), retry_, &wc);
-            stats_.app_writes += wc.writes;
-            stats_.retries += wc.retries;
+            const IoResult res = write_block_retry(array_, new_disk_, db,
+                                                   par.span(), retry_, &wc);
+            {
+              std::lock_guard sk(stats_mu_);
+              stats_.app_writes += wc.writes;
+              stats_.retries += wc.retries;
+            }
             return res;
           }();
-          if (!w.ok()) ++stats_.degraded_writes;
+          if (!w.ok()) {
+            std::lock_guard sk(stats_mu_);
+            ++stats_.degraded_writes;
+          }
         } else if (r.status == IoStatus::kSectorError) {
           // The stored diagonal parity is unreadable: regenerate its
           // whole chain from the (already updated) data. Counted as
           // conversion I/O, which is what the regeneration is.
           generate_diag(l.group, diag_row);
         } else {
+          std::lock_guard sk(stats_mu_);
           ++stats_.degraded_writes;
         }
       } else {
+        std::lock_guard sk(stats_mu_);
         ++stats_.degraded_writes;
       }
     }
   }
 
-  lk.unlock();
-  cv_.notify_all();
   return IoResult::success();
 }
 
 OnlineStats OnlineMigrator::stats() const {
-  std::lock_guard lk(mu_);
+  std::lock_guard sk(stats_mu_);
   return stats_;
 }
 
 std::int64_t OnlineMigrator::rebuild_failed_disks() {
+  std::unique_lock ops(ops_mu_);  // exclude app I/O for the whole rebuild
   std::lock_guard lk(mu_);
   if (running_.load()) {
     throw std::logic_error("rebuild_failed_disks: conversion still running");
@@ -471,7 +634,10 @@ std::int64_t OnlineMigrator::rebuild_failed_disks() {
         throw std::runtime_error("rebuild_failed_disks: disk " +
                                  std::to_string(d) + " not reconstructible");
       }
-      stats_.retries += c.retries;
+      {
+        std::lock_guard sk(stats_mu_);
+        stats_.retries += c.retries;
+      }
       ++rebuilt;
     }
     return rebuilt;
@@ -529,6 +695,7 @@ std::int64_t OnlineMigrator::rebuild_failed_disks() {
 }
 
 bool OnlineMigrator::verify_raid6() const {
+  std::unique_lock ops(ops_mu_);  // a consistent snapshot of every group
   const int p = code_.p();
   const std::size_t bs = array_.block_bytes();
   Buffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);

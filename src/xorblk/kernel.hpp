@@ -1,0 +1,57 @@
+#pragma once
+// Kernel registry behind the xor.hpp entry points. Each XorKernel is a
+// complete, self-contained implementation of the four block primitives
+// for one ISA. The registry is built once at first use: compile-time
+// architecture gating decides which variants exist in the binary
+// (CMake probes the intrinsics; -DC56_DISABLE_SIMD=ON compiles them
+// out), and a runtime CPUID probe decides which of those the machine
+// can actually execute. Dispatch rules, in order:
+//
+//   1. C56_DISABLE_SIMD build flag        -> scalar only, nothing else
+//      exists in the binary.
+//   2. C56_XOR_KERNEL=<name> environment  -> that variant, if present
+//      and runnable; unknown or unsupported names fall back to rule 3.
+//   3. Widest runnable vector ISA (avx512 > avx2 > neon), else scalar.
+//
+// The scalar kernel is always present and is the differential-testing
+// reference for every vector variant (tests/xor_kernel_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace c56 {
+
+enum class XorIsa : std::uint8_t { kScalar, kAvx2, kAvx512, kNeon };
+
+const char* to_string(XorIsa isa) noexcept;
+
+struct XorKernel {
+  XorIsa isa = XorIsa::kScalar;
+  const char* name = "scalar";
+  void (*xor_into)(void* dst, const void* src, std::size_t n) = nullptr;
+  void (*xor_to)(void* dst, const void* a, const void* b,
+                 std::size_t n) = nullptr;
+  void (*xor_accumulate)(void* dst, const void* const* srcs,
+                         std::size_t nsrcs, std::size_t n) = nullptr;
+  bool (*all_zero)(const void* p, std::size_t n) = nullptr;
+};
+
+/// The 64-bit-lane reference kernel (always present).
+const XorKernel& scalar_kernel() noexcept;
+
+/// Every kernel compiled into this binary that the running CPU can
+/// execute, scalar first. The differential tests and the throughput
+/// bench iterate this.
+std::span<const XorKernel> available_kernels() noexcept;
+
+/// The kernel the xor.hpp entry points dispatch to (rules above).
+const XorKernel& active_kernel() noexcept;
+
+// Vector variants, defined when the build carries them (internal; the
+// registry wires them up). Null function pointers mean "not compiled".
+const XorKernel* avx2_kernel_if_built() noexcept;
+const XorKernel* avx512_kernel_if_built() noexcept;
+const XorKernel* neon_kernel_if_built() noexcept;
+
+}  // namespace c56

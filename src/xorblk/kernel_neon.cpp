@@ -1,0 +1,126 @@
+// NEON XOR kernels for AArch64. Advanced SIMD is architecturally
+// mandatory on AArch64, so unlike the x86 variants there is no runtime
+// probe — if the build carries the kernel (CMake defines
+// C56_HAVE_NEON), the CPU can run it. The same tail discipline as the
+// x86 file applies: 64-byte strips, then 64-bit words, then bytes, so
+// odd lengths and unaligned offsets match the scalar reference exactly.
+
+#include "xorblk/kernel.hpp"
+
+#ifdef C56_HAVE_NEON
+
+#include <arm_neon.h>
+
+#include <cstring>
+
+namespace c56 {
+namespace {
+
+inline void tail_accumulate(std::uint8_t* d, const void* const* srcs,
+                            std::size_t nsrcs, std::size_t off,
+                            std::size_t n) {
+  for (; off < n; ++off) {
+    std::uint8_t acc = 0;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      acc ^= static_cast<const std::uint8_t*>(srcs[s])[off];
+    }
+    d[off] = acc;
+  }
+}
+
+void neon_xor_to(void* dst, const void* a, const void* b, std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 64 <= n; off += 64) {
+    uint8x16_t v0 = veorq_u8(vld1q_u8(x + off), vld1q_u8(y + off));
+    uint8x16_t v1 = veorq_u8(vld1q_u8(x + off + 16), vld1q_u8(y + off + 16));
+    uint8x16_t v2 = veorq_u8(vld1q_u8(x + off + 32), vld1q_u8(y + off + 32));
+    uint8x16_t v3 = veorq_u8(vld1q_u8(x + off + 48), vld1q_u8(y + off + 48));
+    vst1q_u8(d + off, v0);
+    vst1q_u8(d + off + 16, v1);
+    vst1q_u8(d + off + 32, v2);
+    vst1q_u8(d + off + 48, v3);
+  }
+  for (; off + 16 <= n; off += 16) {
+    vst1q_u8(d + off, veorq_u8(vld1q_u8(x + off), vld1q_u8(y + off)));
+  }
+  for (; off < n; ++off) d[off] = static_cast<std::uint8_t>(x[off] ^ y[off]);
+}
+
+void neon_xor_into(void* dst, const void* src, std::size_t n) {
+  neon_xor_to(dst, dst, src, n);
+}
+
+void neon_xor_accumulate(void* dst, const void* const* srcs,
+                         std::size_t nsrcs, std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  if (nsrcs == 0) {
+    std::memset(d, 0, n);
+    return;
+  }
+  std::size_t off = 0;
+  for (; off + 64 <= n; off += 64) {
+    const auto* s0 = static_cast<const std::uint8_t*>(srcs[0]) + off;
+    uint8x16_t a0 = vld1q_u8(s0);
+    uint8x16_t a1 = vld1q_u8(s0 + 16);
+    uint8x16_t a2 = vld1q_u8(s0 + 32);
+    uint8x16_t a3 = vld1q_u8(s0 + 48);
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      const auto* p = static_cast<const std::uint8_t*>(srcs[s]) + off;
+      a0 = veorq_u8(a0, vld1q_u8(p));
+      a1 = veorq_u8(a1, vld1q_u8(p + 16));
+      a2 = veorq_u8(a2, vld1q_u8(p + 32));
+      a3 = veorq_u8(a3, vld1q_u8(p + 48));
+    }
+    vst1q_u8(d + off, a0);
+    vst1q_u8(d + off + 16, a1);
+    vst1q_u8(d + off + 32, a2);
+    vst1q_u8(d + off + 48, a3);
+  }
+  for (; off + 16 <= n; off += 16) {
+    uint8x16_t acc = vld1q_u8(static_cast<const std::uint8_t*>(srcs[0]) + off);
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      acc = veorq_u8(acc,
+                     vld1q_u8(static_cast<const std::uint8_t*>(srcs[s]) + off));
+    }
+    vst1q_u8(d + off, acc);
+  }
+  tail_accumulate(d, srcs, nsrcs, off, n);
+}
+
+bool neon_all_zero(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  std::size_t off = 0;
+  uint8x16_t acc = vdupq_n_u8(0);
+  for (; off + 16 <= n; off += 16) {
+    acc = vorrq_u8(acc, vld1q_u8(b + off));
+  }
+  if (vmaxvq_u8(acc) != 0) return false;
+  std::uint8_t tail = 0;
+  for (; off < n; ++off) tail |= b[off];
+  return tail == 0;
+}
+
+const XorKernel kNeonKernel{
+    XorIsa::kNeon,        "neon",
+    &neon_xor_into,       &neon_xor_to,
+    &neon_xor_accumulate, &neon_all_zero,
+};
+
+}  // namespace
+
+const XorKernel* neon_kernel_if_built() noexcept { return &kNeonKernel; }
+
+}  // namespace c56
+
+#else
+
+namespace c56 {
+
+const XorKernel* neon_kernel_if_built() noexcept { return nullptr; }
+
+}  // namespace c56
+
+#endif

@@ -1,0 +1,305 @@
+// AVX2 / AVX-512 XOR kernels. Compiled into every x86-64 build unless
+// C56_DISABLE_SIMD is set (CMake probes the intrinsics and defines
+// C56_HAVE_AVX2 / C56_HAVE_AVX512); whether they are *used* is decided
+// at runtime by __builtin_cpu_supports in the *_if_built() probes, so a
+// binary built here runs unchanged on a CPU without the ISA.
+//
+// Every function uses unaligned loads/stores — callers pass arbitrary
+// byte ranges — and finishes with a 64-bit-word + byte tail so odd
+// lengths behave exactly like the scalar reference. xor_accumulate
+// folds all sources into registers before touching dst within each
+// strip, which both makes the pass cache-friendly (each stream is
+// touched once) and keeps dst == srcs[i] aliasing safe.
+
+#include "xorblk/kernel.hpp"
+
+#if defined(C56_HAVE_AVX2) || defined(C56_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace c56 {
+namespace {
+
+// Shared scalar tail: dst[i] = XOR of srcs[*][i] for off <= i < n.
+inline void tail_accumulate(std::uint8_t* d, const void* const* srcs,
+                            std::size_t nsrcs, std::size_t off,
+                            std::size_t n) {
+  for (; off + 8 <= n; off += 8) {
+    std::uint64_t acc = 0;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      std::uint64_t v;
+      std::memcpy(&v, static_cast<const std::uint8_t*>(srcs[s]) + off, 8);
+      acc ^= v;
+    }
+    std::memcpy(d + off, &acc, 8);
+  }
+  for (; off < n; ++off) {
+    std::uint8_t acc = 0;
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      acc ^= static_cast<const std::uint8_t*>(srcs[s])[off];
+    }
+    d[off] = acc;
+  }
+}
+
+inline void tail_xor_to(std::uint8_t* d, const std::uint8_t* x,
+                        const std::uint8_t* y, std::size_t off,
+                        std::size_t n) {
+  for (; off + 8 <= n; off += 8) {
+    std::uint64_t u, v;
+    std::memcpy(&u, x + off, 8);
+    std::memcpy(&v, y + off, 8);
+    u ^= v;
+    std::memcpy(d + off, &u, 8);
+  }
+  for (; off < n; ++off) d[off] = static_cast<std::uint8_t>(x[off] ^ y[off]);
+}
+
+#ifdef C56_HAVE_AVX2
+
+__attribute__((target("avx2"))) void avx2_xor_to(void* dst, const void* a,
+                                                 const void* b,
+                                                 std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 128 <= n; off += 128) {
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off));
+    __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off + 32));
+    __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off + 64));
+    __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off + 96));
+    v0 = _mm256_xor_si256(
+        v0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + off)));
+    v1 = _mm256_xor_si256(v1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                  y + off + 32)));
+    v2 = _mm256_xor_si256(v2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                  y + off + 64)));
+    v3 = _mm256_xor_si256(v3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                  y + off + 96)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 32), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 64), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 96), v3);
+  }
+  for (; off + 32 <= n; off += 32) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + off)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), v);
+  }
+  tail_xor_to(d, x, y, off, n);
+}
+
+__attribute__((target("avx2"))) void avx2_xor_into(void* dst, const void* src,
+                                                   std::size_t n) {
+  avx2_xor_to(dst, dst, src, n);
+}
+
+__attribute__((target("avx2"))) void avx2_xor_accumulate(
+    void* dst, const void* const* srcs, std::size_t nsrcs, std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  if (nsrcs == 0) {
+    std::memset(d, 0, n);
+    return;
+  }
+  std::size_t off = 0;
+  for (; off + 128 <= n; off += 128) {
+    const auto* s0 = static_cast<const std::uint8_t*>(srcs[0]) + off;
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + 32));
+    __m256i a2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + 64));
+    __m256i a3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + 96));
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      const auto* p = static_cast<const std::uint8_t*>(srcs[s]) + off;
+      a0 = _mm256_xor_si256(
+          a0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+      a1 = _mm256_xor_si256(
+          a1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 32)));
+      a2 = _mm256_xor_si256(
+          a2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 64)));
+      a3 = _mm256_xor_si256(
+          a3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 96)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 32), a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 64), a2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 96), a3);
+  }
+  for (; off + 32 <= n; off += 32) {
+    __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        static_cast<const std::uint8_t*>(srcs[0]) + off));
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      acc = _mm256_xor_si256(
+          acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                   static_cast<const std::uint8_t*>(srcs[s]) + off)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), acc);
+  }
+  tail_accumulate(d, srcs, nsrcs, off, n);
+}
+
+__attribute__((target("avx2"))) bool avx2_all_zero(const void* p,
+                                                   std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  std::size_t off = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; off + 32 <= n; off += 32) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + off)));
+  }
+  if (!_mm256_testz_si256(acc, acc)) return false;
+  std::uint64_t tail = 0;
+  for (; off + 8 <= n; off += 8) {
+    std::uint64_t v;
+    std::memcpy(&v, b + off, 8);
+    tail |= v;
+  }
+  for (; off < n; ++off) tail |= b[off];
+  return tail == 0;
+}
+
+const XorKernel kAvx2Kernel{
+    XorIsa::kAvx2,        "avx2",
+    &avx2_xor_into,       &avx2_xor_to,
+    &avx2_xor_accumulate, &avx2_all_zero,
+};
+
+#endif  // C56_HAVE_AVX2
+
+#ifdef C56_HAVE_AVX512
+
+__attribute__((target("avx512f"))) void avx512_xor_to(void* dst, const void* a,
+                                                      const void* b,
+                                                      std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 256 <= n; off += 256) {
+    __m512i v0 = _mm512_loadu_si512(x + off);
+    __m512i v1 = _mm512_loadu_si512(x + off + 64);
+    __m512i v2 = _mm512_loadu_si512(x + off + 128);
+    __m512i v3 = _mm512_loadu_si512(x + off + 192);
+    v0 = _mm512_xor_si512(v0, _mm512_loadu_si512(y + off));
+    v1 = _mm512_xor_si512(v1, _mm512_loadu_si512(y + off + 64));
+    v2 = _mm512_xor_si512(v2, _mm512_loadu_si512(y + off + 128));
+    v3 = _mm512_xor_si512(v3, _mm512_loadu_si512(y + off + 192));
+    _mm512_storeu_si512(d + off, v0);
+    _mm512_storeu_si512(d + off + 64, v1);
+    _mm512_storeu_si512(d + off + 128, v2);
+    _mm512_storeu_si512(d + off + 192, v3);
+  }
+  for (; off + 64 <= n; off += 64) {
+    _mm512_storeu_si512(d + off,
+                        _mm512_xor_si512(_mm512_loadu_si512(x + off),
+                                         _mm512_loadu_si512(y + off)));
+  }
+  tail_xor_to(d, x, y, off, n);
+}
+
+__attribute__((target("avx512f"))) void avx512_xor_into(void* dst,
+                                                        const void* src,
+                                                        std::size_t n) {
+  avx512_xor_to(dst, dst, src, n);
+}
+
+__attribute__((target("avx512f"))) void avx512_xor_accumulate(
+    void* dst, const void* const* srcs, std::size_t nsrcs, std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  if (nsrcs == 0) {
+    std::memset(d, 0, n);
+    return;
+  }
+  std::size_t off = 0;
+  for (; off + 256 <= n; off += 256) {
+    const auto* s0 = static_cast<const std::uint8_t*>(srcs[0]) + off;
+    __m512i a0 = _mm512_loadu_si512(s0);
+    __m512i a1 = _mm512_loadu_si512(s0 + 64);
+    __m512i a2 = _mm512_loadu_si512(s0 + 128);
+    __m512i a3 = _mm512_loadu_si512(s0 + 192);
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      const auto* p = static_cast<const std::uint8_t*>(srcs[s]) + off;
+      a0 = _mm512_xor_si512(a0, _mm512_loadu_si512(p));
+      a1 = _mm512_xor_si512(a1, _mm512_loadu_si512(p + 64));
+      a2 = _mm512_xor_si512(a2, _mm512_loadu_si512(p + 128));
+      a3 = _mm512_xor_si512(a3, _mm512_loadu_si512(p + 192));
+    }
+    _mm512_storeu_si512(d + off, a0);
+    _mm512_storeu_si512(d + off + 64, a1);
+    _mm512_storeu_si512(d + off + 128, a2);
+    _mm512_storeu_si512(d + off + 192, a3);
+  }
+  for (; off + 64 <= n; off += 64) {
+    __m512i acc =
+        _mm512_loadu_si512(static_cast<const std::uint8_t*>(srcs[0]) + off);
+    for (std::size_t s = 1; s < nsrcs; ++s) {
+      acc = _mm512_xor_si512(
+          acc,
+          _mm512_loadu_si512(static_cast<const std::uint8_t*>(srcs[s]) + off));
+    }
+    _mm512_storeu_si512(d + off, acc);
+  }
+  tail_accumulate(d, srcs, nsrcs, off, n);
+}
+
+__attribute__((target("avx512f"))) bool avx512_all_zero(const void* p,
+                                                        std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  std::size_t off = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; off + 64 <= n; off += 64) {
+    acc = _mm512_or_si512(acc, _mm512_loadu_si512(b + off));
+  }
+  if (_mm512_test_epi64_mask(acc, acc) != 0) return false;
+  std::uint64_t tail = 0;
+  for (; off + 8 <= n; off += 8) {
+    std::uint64_t v;
+    std::memcpy(&v, b + off, 8);
+    tail |= v;
+  }
+  for (; off < n; ++off) tail |= b[off];
+  return tail == 0;
+}
+
+const XorKernel kAvx512Kernel{
+    XorIsa::kAvx512,        "avx512",
+    &avx512_xor_into,       &avx512_xor_to,
+    &avx512_xor_accumulate, &avx512_all_zero,
+};
+
+#endif  // C56_HAVE_AVX512
+
+}  // namespace
+
+const XorKernel* avx2_kernel_if_built() noexcept {
+#ifdef C56_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return &kAvx2Kernel;
+#endif
+  return nullptr;
+}
+
+const XorKernel* avx512_kernel_if_built() noexcept {
+#ifdef C56_HAVE_AVX512
+  if (__builtin_cpu_supports("avx512f")) return &kAvx512Kernel;
+#endif
+  return nullptr;
+}
+
+}  // namespace c56
+
+#else  // no x86 vector support compiled in
+
+namespace c56 {
+
+const XorKernel* avx2_kernel_if_built() noexcept { return nullptr; }
+const XorKernel* avx512_kernel_if_built() noexcept { return nullptr; }
+
+}  // namespace c56
+
+#endif

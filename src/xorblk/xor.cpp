@@ -1,74 +1,46 @@
 #include "xorblk/xor.hpp"
 
 #include <cassert>
-#include <cstring>
+
+#include "xorblk/kernel.hpp"
 
 namespace c56 {
 
 void xor_into(void* dst, const void* src, std::size_t n) noexcept {
-  auto* d = static_cast<std::uint8_t*>(dst);
-  const auto* s = static_cast<const std::uint8_t*>(src);
-  // Unrolled 64-byte main loop; memcpy keeps it strict-aliasing clean and
-  // compiles to plain loads/stores.
-  while (n >= 64) {
-    std::uint64_t a[8], b[8];
-    std::memcpy(a, d, 64);
-    std::memcpy(b, s, 64);
-    for (int i = 0; i < 8; ++i) a[i] ^= b[i];
-    std::memcpy(d, a, 64);
-    d += 64;
-    s += 64;
-    n -= 64;
-  }
-  while (n >= 8) {
-    std::uint64_t a, b;
-    std::memcpy(&a, d, 8);
-    std::memcpy(&b, s, 8);
-    a ^= b;
-    std::memcpy(d, &a, 8);
-    d += 8;
-    s += 8;
-    n -= 8;
-  }
-  for (; n > 0; --n) *d++ ^= *s++;
+  active_kernel().xor_into(dst, src, n);
 }
 
 void xor_to(void* dst, const void* a, const void* b, std::size_t n) noexcept {
-  auto* d = static_cast<std::uint8_t*>(dst);
-  const auto* x = static_cast<const std::uint8_t*>(a);
-  const auto* y = static_cast<const std::uint8_t*>(b);
-  while (n >= 8) {
-    std::uint64_t u, v;
-    std::memcpy(&u, x, 8);
-    std::memcpy(&v, y, 8);
-    u ^= v;
-    std::memcpy(d, &u, 8);
-    d += 8;
-    x += 8;
-    y += 8;
-    n -= 8;
-  }
-  for (; n > 0; --n) *d++ = static_cast<std::uint8_t>(*x++ ^ *y++);
+  active_kernel().xor_to(dst, a, b, n);
+}
+
+void xor_accumulate(void* dst, const void* const* srcs, std::size_t nsrcs,
+                    std::size_t n) noexcept {
+  active_kernel().xor_accumulate(dst, srcs, nsrcs, n);
 }
 
 bool all_zero(const void* p, std::size_t n) noexcept {
-  const auto* b = static_cast<const std::uint8_t*>(p);
-  std::uint64_t acc = 0;
-  while (n >= 8) {
-    std::uint64_t v;
-    std::memcpy(&v, b, 8);
-    acc |= v;
-    b += 8;
-    n -= 8;
-  }
-  for (; n > 0; --n) acc |= *b++;
-  return acc == 0;
+  return active_kernel().all_zero(p, n);
 }
 
 void xor_into(std::span<std::uint8_t> dst,
               std::span<const std::uint8_t> src) noexcept {
   assert(dst.size() == src.size());
   xor_into(dst.data(), src.data(), dst.size());
+}
+
+void xor_to(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
+            std::span<const std::uint8_t> b) noexcept {
+  assert(dst.size() == a.size());
+  assert(dst.size() == b.size());
+  xor_to(dst.data(), a.data(), b.data(), dst.size());
+}
+
+void xor_accumulate(std::span<std::uint8_t> dst,
+                    std::span<const std::uint8_t* const> srcs) noexcept {
+  xor_accumulate(dst.data(),
+                 reinterpret_cast<const void* const*>(srcs.data()),
+                 srcs.size(), dst.size());
 }
 
 bool all_zero(std::span<const std::uint8_t> s) noexcept {

@@ -1,0 +1,107 @@
+// Golden-vector test for the paper's worked Code 5-6 example (p = 5):
+// every parity byte of a fully determined stripe is pinned to
+// hand-computed constants, including the worked diagonal identity
+// C_{1,4} = C_{0,0} xor C_{3,2} xor C_{2,3} from Section III. A change
+// in chain construction, encode order, or the XOR kernels that altered
+// any stored byte fails here with the exact cell named.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "codes/code56.hpp"
+#include "layout/stripe.hpp"
+#include "xorblk/buffer.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56 {
+namespace {
+
+constexpr std::size_t kBlock = 2;
+
+// Data cell (r, c) of the p=5 square is filled with the byte
+// 7*(4r+c)+1, repeated as {v, v^0xFF} over the 2-byte block. The
+// horizontal parities live on the anti-diagonal (r, 3-r).
+std::uint8_t data_byte(int r, int c) {
+  return static_cast<std::uint8_t>(7 * (4 * r + c) + 1);
+}
+
+Buffer golden_stripe(const Code56& code) {
+  Buffer buf(static_cast<std::size_t>(code.cell_count()) * kBlock);
+  StripeView s = StripeView::over(buf, code.rows(), code.cols(), kBlock);
+  for (int r = 0; r < code.rows(); ++r) {
+    for (int c = 0; c < code.cols(); ++c) {
+      if (code.kind({r, c}) != CellKind::kData) continue;
+      auto blk = s.block({r, c});
+      blk[0] = data_byte(r, c);
+      blk[1] = static_cast<std::uint8_t>(data_byte(r, c) ^ 0xFF);
+    }
+  }
+  code.encode(s);
+  return buf;
+}
+
+void expect_block(StripeView s, Cell c, std::uint8_t b0, std::uint8_t b1) {
+  const auto blk = s.block(c);
+  EXPECT_EQ(blk[0], b0) << "cell (" << c.row << "," << c.col << ") byte 0";
+  EXPECT_EQ(blk[1], b1) << "cell (" << c.row << "," << c.col << ") byte 1";
+}
+
+TEST(Code56Golden, HorizontalParityBytesP5) {
+  const Code56 code(5);
+  Buffer buf = golden_stripe(code);
+  StripeView s = StripeView::over(buf, 4, 5, kBlock);
+  // H(i) sits at (i, 3-i); second byte folds three 0xFF complements,
+  // so it is the first byte's complement.
+  expect_block(s, {0, 3}, 0x06, 0xF9);
+  expect_block(s, {1, 2}, 0x0B, 0xF4);
+  expect_block(s, {2, 1}, 0x30, 0xCF);
+  expect_block(s, {3, 0}, 0x55, 0xAA);
+}
+
+TEST(Code56Golden, DiagonalParityBytesP5) {
+  const Code56 code(5);
+  Buffer buf = golden_stripe(code);
+  StripeView s = StripeView::over(buf, 4, 5, kBlock);
+  expect_block(s, {0, 4}, 0x29, 0xD6);
+  expect_block(s, {1, 4}, 0x2C, 0xD3);
+  expect_block(s, {2, 4}, 0x7F, 0x80);
+  expect_block(s, {3, 4}, 0x12, 0xED);
+  EXPECT_TRUE(code.verify(s));
+}
+
+// The worked example spelled out: C_{1,4} = C_{0,0} ^ C_{3,2} ^ C_{2,3}.
+TEST(Code56Golden, WorkedExampleIdentityC14) {
+  const Code56 code(5);
+
+  // Structurally: the diagonal chain anchored at (1,4) has exactly
+  // those three inputs.
+  const ParityChain* c14 = nullptr;
+  for (const ParityChain& ch : code.chains()) {
+    if (ch.parity == Cell{1, 4}) c14 = &ch;
+  }
+  ASSERT_NE(c14, nullptr);
+  ASSERT_EQ(c14->inputs.size(), 3u);
+  EXPECT_NE(std::ranges::find(c14->inputs, Cell{0, 0}), c14->inputs.end());
+  EXPECT_NE(std::ranges::find(c14->inputs, Cell{3, 2}), c14->inputs.end());
+  EXPECT_NE(std::ranges::find(c14->inputs, Cell{2, 3}), c14->inputs.end());
+
+  // Numerically, against the hard-coded fill: 0x01 ^ 0x63 ^ 0x4E = 0x2C.
+  EXPECT_EQ(data_byte(0, 0), 0x01);
+  EXPECT_EQ(data_byte(3, 2), 0x63);
+  EXPECT_EQ(data_byte(2, 3), 0x4E);
+  EXPECT_EQ(data_byte(0, 0) ^ data_byte(3, 2) ^ data_byte(2, 3), 0x2C);
+
+  // And on the encoded stripe itself, via the public XOR entry points.
+  Buffer buf = golden_stripe(code);
+  StripeView s = StripeView::over(buf, 4, 5, kBlock);
+  Buffer acc(kBlock);
+  const std::uint8_t* srcs[] = {s.block({0, 0}).data(), s.block({3, 2}).data(),
+                                s.block({2, 3}).data()};
+  xor_accumulate(acc.span(), srcs);
+  EXPECT_TRUE(std::ranges::equal(acc.span(), s.block({1, 4})));
+}
+
+}  // namespace
+}  // namespace c56

@@ -7,15 +7,22 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "codes/code56.hpp"
 #include "codes/hdp.hpp"
 #include "codes/pcode.hpp"
 #include "codes/registry.hpp"
 #include "codes/xcode.hpp"
+#include "layout/raid.hpp"
+#include "migration/disk_array.hpp"
+#include "migration/journal.hpp"
+#include "migration/online.hpp"
 #include "util/prime.hpp"
 #include "util/rng.hpp"
 #include "xorblk/buffer.hpp"
+#include "xorblk/xor.hpp"
 
 namespace c56 {
 namespace {
@@ -195,6 +202,129 @@ TEST(HdpStructure, BothParitiesLiveInsideTheSquare) {
   EXPECT_EQ(row_par, 6);
   EXPECT_EQ(anti_par, 6);
 }
+
+// ---------------------------------------------------------------------
+// Parallel conversion properties: the worker-pool converter is an
+// optimization, not a semantic change, so for every prime and worker
+// count the migrated array must be byte-identical to the
+// single-threaded result — including across a crash/resume boundary.
+
+constexpr std::size_t kConvBlock = 32;
+
+void fill_conv_raid5(mig::DiskArray& array, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> block(kConvBlock), parity(kConvBlock);
+  for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = raid5_parity_disk(Raid5Flavor::kLeftAsymmetric,
+                                        static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), kConvBlock);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      xor_into(std::span(parity), std::span<const std::uint8_t>(block));
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
+}
+
+void expect_arrays_equal(const mig::DiskArray& a, const mig::DiskArray& b) {
+  ASSERT_EQ(a.disks(), b.disks());
+  for (int d = 0; d < a.disks(); ++d) {
+    for (std::int64_t blk = 0; blk < a.blocks_per_disk(); ++blk) {
+      ASSERT_TRUE(std::ranges::equal(a.raw_block(d, blk), b.raw_block(d, blk)))
+          << "disk " << d << " block " << blk;
+    }
+  }
+}
+
+class ParallelConversion : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelConversion, ByteIdenticalToSingleThreaded) {
+  const int p = GetParam();
+  const int m = p - 1;
+  const std::int64_t groups = 11;  // not a multiple of any worker count
+  const std::uint64_t seed = 0xC56'0C56 + static_cast<std::uint64_t>(p);
+
+  mig::DiskArray ref(m, groups * (p - 1), kConvBlock);
+  fill_conv_raid5(ref, m, seed);
+  {
+    mig::OnlineMigrator mref(ref, p);
+    mref.set_workers(1);
+    mref.start();
+    mref.finish();
+    ASSERT_EQ(mref.state(), mig::MigrationState::kDone);
+  }
+
+  for (int workers : {1, 2, 4, 8}) {
+    SCOPED_TRACE("p=" + std::to_string(p) +
+                 " workers=" + std::to_string(workers));
+    mig::DiskArray array(m, groups * (p - 1), kConvBlock);
+    fill_conv_raid5(array, m, seed);
+    mig::OnlineMigrator mg(array, p);
+    mg.set_workers(workers);
+    EXPECT_EQ(mg.workers(), workers);
+    mg.start();
+    mg.finish();
+    ASSERT_EQ(mg.state(), mig::MigrationState::kDone);
+    EXPECT_TRUE(mg.verify_raid6());
+    expect_arrays_equal(array, ref);
+  }
+}
+
+TEST_P(ParallelConversion, CrashAndResumeStaysByteIdentical) {
+  const int p = GetParam();
+  const int m = p - 1;
+  const std::int64_t groups = 9;
+  const std::uint64_t seed = 0xC56'0D00 + static_cast<std::uint64_t>(p);
+
+  mig::DiskArray ref(m, groups * (p - 1), kConvBlock);
+  fill_conv_raid5(ref, m, seed);
+  {
+    mig::OnlineMigrator mref(ref, p);
+    mref.start();
+    mref.finish();
+    ASSERT_EQ(mref.state(), mig::MigrationState::kDone);
+  }
+
+  for (int workers : {2, 4, 8}) {
+    SCOPED_TRACE("p=" + std::to_string(p) +
+                 " workers=" + std::to_string(workers));
+    mig::DiskArray array(m, groups * (p - 1), kConvBlock);
+    fill_conv_raid5(array, m, seed);
+    mig::MemoryCheckpointSink sink;
+    {
+      mig::OnlineMigrator mg(array, p);
+      mg.attach_journal(sink);
+      mg.set_workers(workers);
+      mg.start();
+      // Stop somewhere mid-conversion; with several workers the stop
+      // point straddles groups in different states of completion.
+      while (mg.groups_done() < groups / 2 &&
+             mg.state() == mig::MigrationState::kConverting) {
+        std::this_thread::yield();
+      }
+      mg.request_stop();
+      mg.finish();
+      ASSERT_NE(mg.state(), mig::MigrationState::kAborted);
+      // Migrator destroyed: the "crash". Journal and array survive.
+    }
+    mig::OnlineMigrator mg2(array, p);  // array now holds p disks
+    mg2.attach_journal(sink);
+    mg2.set_workers(workers);
+    mg2.resume();
+    mg2.finish();
+    ASSERT_EQ(mg2.state(), mig::MigrationState::kDone);
+    EXPECT_TRUE(mg2.verify_raid6());
+    expect_arrays_equal(array, ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, ParallelConversion,
+                         ::testing::Values(5, 7, 11, 13),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace c56
