@@ -1,0 +1,322 @@
+// Benchmark of the ArrayController's two I/O paths: the per-block
+// read-modify-write pair (Table III's metric) versus the batched
+// stripe-aware planner behind the ranged read/write API. Measures MB/s
+// of logical payload and disk I/Os per block across sequential/random
+// patterns, block/row/stripe-sized requests, healthy and degraded
+// arrays, and with the write-through stripe cache off and on. Results
+// print as tables and land in BENCH_controller.json.
+//
+// Two throughputs per workload: the in-memory wall clock (planner +
+// memcpy cost; the array is RAM, so this is compute-bound), and a
+// device-model throughput that prices the counted I/O through the
+// sim DiskParams the repo uses everywhere else — every vectored run
+// pays one head reposition (seek + avg rotation), every block pays
+// transfer time. The run accounting is the point of the vectored
+// DiskArray API: a full-stripe batched write lands as a handful of
+// per-column runs where the per-block path issues 6 discrete RMW
+// requests per block.
+//
+// The acceptance gate is the sequential full-stripe write, healthy,
+// cache off: the batched path must not be slower in memory AND must be
+// >= 3x on the device model. The process exits non-zero otherwise —
+// CI runs this with --smoke as a perf regression tripwire.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codes/registry.hpp"
+#include "migration/controller.hpp"
+#include "migration/disk_array.hpp"
+#include "sim/disk_model.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xorblk/buffer.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kP = 5;
+constexpr std::size_t kBlock = 4096;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Config {
+  bool sequential;        // request offsets: in order vs shuffled
+  std::int64_t count;     // blocks per request
+  const char* size_name;  // "block" | "row" | "stripe"
+  bool degraded;          // one failed disk
+  bool cached;            // stripe cache sized to hold the whole array
+};
+
+struct Measurement {
+  double mbps;         // in-memory wall clock
+  double device_mbps;  // counted I/O priced through sim::DiskParams
+  double io_per_blk;   // discrete blocks transferred per payload block
+  double runs_per_blk; // head repositions per payload block
+};
+
+/// Price a counted pass on the positional disk model: one reposition
+/// (seek + average rotation) per vectored run, transfer at the
+/// sustained rate for every block moved.
+double device_model_mbps(std::uint64_t runs, std::uint64_t io_blocks,
+                         std::size_t payload_bytes) {
+  const c56::sim::DiskParams d;
+  const double reposition_ms = d.avg_seek_ms + d.avg_rotational_ms();
+  const double xfer_bytes_per_ms = d.transfer_mb_s * 1e3;
+  const double ms = static_cast<double>(runs) * reposition_ms +
+                    static_cast<double>(io_blocks) *
+                        static_cast<double>(kBlock) / xfer_bytes_per_ms;
+  return ms > 0 ? static_cast<double>(payload_bytes) / ms / 1e3 : 0;
+}
+
+class Bench {
+ public:
+  Bench(std::int64_t stripes, double min_seconds)
+      : stripes_(stripes), min_seconds_(min_seconds) {}
+
+  Measurement run_write(const Config& cfg, bool batched) {
+    return run(cfg, batched, /*reads=*/false);
+  }
+  Measurement run_read(const Config& cfg, bool batched) {
+    return run(cfg, batched, /*reads=*/true);
+  }
+
+ private:
+  Measurement run(const Config& cfg, bool batched, bool reads) {
+    auto code = c56::make_code(c56::CodeId::kCode56, kP);
+    c56::mig::DiskArray array(code->cols(), stripes_ * code->rows(), kBlock);
+    c56::mig::ArrayController ctrl(array, std::move(code));
+    if (cfg.degraded) ctrl.fail_disk(1);
+    if (cfg.cached) {
+      ctrl.set_cache_stripes(static_cast<std::size_t>(stripes_));
+    }
+    const std::int64_t logical = ctrl.logical_blocks();
+    const std::int64_t chunks = logical / cfg.count;
+    const std::size_t bytes = static_cast<std::size_t>(logical) * kBlock;
+
+    // A shuffled permutation of chunk offsets (every chunk exactly once)
+    // keeps the byte accounting exact and avoids rewarding either path
+    // for the idempotent-write shortcut on duplicate offsets.
+    std::vector<std::int64_t> offs(static_cast<std::size_t>(chunks));
+    for (std::int64_t i = 0; i < chunks; ++i) {
+      offs[static_cast<std::size_t>(i)] = i * cfg.count;
+    }
+    c56::Rng rng(0xC56'0BE);
+    if (!cfg.sequential) {
+      for (std::size_t i = offs.size() - 1; i > 0; --i) {
+        std::swap(offs[i], offs[rng.next_below(i + 1)]);
+      }
+    }
+
+    // Two payloads, alternated per pass, so repeat passes always carry
+    // a non-zero delta (the per-block path skips no-op writes).
+    c56::Buffer pay_a(bytes), pay_b(bytes), out(bytes);
+    rng.fill(pay_a.data(), bytes);
+    rng.fill(pay_b.data(), bytes);
+
+    int pass = 0;
+    auto op = [&] {
+      std::uint8_t* pay = (pass++ & 1) ? pay_b.data() : pay_a.data();
+      for (std::int64_t off : offs) {
+        const auto at = static_cast<std::size_t>(off) * kBlock;
+        const auto len = static_cast<std::size_t>(cfg.count) * kBlock;
+        if (reads) {
+          if (batched) {
+            ctrl.read(off, cfg.count, {out.data() + at, len});
+          } else {
+            for (std::int64_t k = 0; k < cfg.count; ++k) {
+              ctrl.read(off + k, {out.data() + at + k * kBlock, kBlock});
+            }
+          }
+        } else {
+          if (batched) {
+            ctrl.write(off, cfg.count, {pay + at, len});
+          } else {
+            for (std::int64_t k = 0; k < cfg.count; ++k) {
+              ctrl.write(off + k, {pay + at + k * kBlock, kBlock});
+            }
+          }
+        }
+      }
+    };
+
+    op();  // warm up (reads also need a seeded array: pass 0 wrote it)
+    const std::uint64_t r0 = array.total_reads();
+    const std::uint64_t w0 = array.total_writes();
+    const std::uint64_t rr0 = array.total_read_runs();
+    const std::uint64_t wr0 = array.total_write_runs();
+    op();  // counted pass for the per-block I/O cost
+    const std::uint64_t io_blocks =
+        array.total_reads() - r0 + array.total_writes() - w0;
+    const std::uint64_t runs =
+        array.total_read_runs() - rr0 + array.total_write_runs() - wr0;
+    const auto touched = static_cast<double>(chunks * cfg.count);
+    Measurement m;
+    m.io_per_blk = static_cast<double>(io_blocks) / touched;
+    m.runs_per_blk = static_cast<double>(runs) / touched;
+    m.device_mbps = device_model_mbps(
+        runs, io_blocks, static_cast<std::size_t>(chunks * cfg.count) * kBlock);
+
+    std::size_t passes = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0;
+    do {
+      op();
+      ++passes;
+      elapsed = seconds_since(t0);
+    } while (elapsed < min_seconds_);
+    m.mbps = static_cast<double>(bytes) * static_cast<double>(passes) /
+             elapsed / 1e6;
+    return m;
+  }
+
+  std::int64_t stripes_;
+  double min_seconds_;
+};
+
+std::string flags(const Config& c) {
+  std::string s = c.degraded ? "degraded" : "healthy";
+  s += c.cached ? "+cache" : "";
+  return s;
+}
+
+void json_side(std::ostringstream& json, const char* name,
+               const Measurement& m) {
+  json << "\"" << name << "\": {\"mbps\": " << m.mbps
+       << ", \"device_mbps\": " << m.device_mbps
+       << ", \"io_per_block\": " << m.io_per_blk
+       << ", \"runs_per_block\": " << m.runs_per_blk << "}";
+}
+
+void json_entry(std::ostringstream& json, const char* kind, const Config& c,
+                const Measurement& pb, const Measurement& ba, bool last) {
+  json << "    {\"op\": \"" << kind << "\", \"pattern\": \""
+       << (c.sequential ? "seq" : "rand") << "\", \"size\": \"" << c.size_name
+       << "\", \"count\": " << c.count << ", \"degraded\": "
+       << (c.degraded ? "true" : "false") << ", \"cache\": "
+       << (c.cached ? "true" : "false") << ",\n     ";
+  json_side(json, "per_block", pb);
+  json << ",\n     ";
+  json_side(json, "batched", ba);
+  json << ",\n     \"mem_speedup\": " << (pb.mbps > 0 ? ba.mbps / pb.mbps : 0)
+       << ", \"device_speedup\": "
+       << (pb.device_mbps > 0 ? ba.device_mbps / pb.device_mbps : 0) << "}"
+       << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const std::int64_t stripes = smoke ? 64 : 256;
+  const double min_seconds = smoke ? 0.02 : 0.2;
+  Bench bench(stripes, min_seconds);
+
+  // Request sizes for Code 5-6 at p=5: one block, one row of data cells
+  // (the planner's full-row direct-parity case), one full stripe.
+  auto code = c56::make_code(c56::CodeId::kCode56, kP);
+  const auto per_stripe = static_cast<std::int64_t>(code->data_cell_count());
+  const std::int64_t row_cells = per_stripe / code->rows();
+  code.reset();
+
+  const std::vector<Config> write_cfgs = {
+      {true, 1, "block", false, false},
+      {true, row_cells, "row", false, false},
+      {true, per_stripe, "stripe", false, false},
+      {false, 1, "block", false, false},
+      {false, row_cells, "row", false, false},
+      {false, per_stripe, "stripe", false, false},
+      {true, 1, "block", true, false},
+      {true, per_stripe, "stripe", true, false},
+      {true, 1, "block", false, true},
+      {true, per_stripe, "stripe", false, true},
+  };
+  const std::vector<Config> read_cfgs = {
+      {true, per_stripe, "stripe", false, false},
+      {true, per_stripe, "stripe", false, true},
+      {false, 1, "block", true, false},
+  };
+
+  std::printf(
+      "Controller I/O paths: per-block RMW vs batched stripe-aware "
+      "planner\np=%d (Code 5-6), %lld stripes, %zu B blocks, in-memory "
+      "array%s\n\n",
+      kP, static_cast<long long>(stripes), kBlock, smoke ? " [smoke]" : "");
+
+  std::ostringstream json;
+  json << "{\n  \"p\": " << kP << ",\n  \"stripes\": " << stripes
+       << ",\n  \"block_bytes\": " << kBlock << ",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"workloads\": [\n";
+
+  c56::TextTable t({"op", "pattern", "size", "state", "per-blk MB/s",
+                    "batched MB/s", "mem x", "dev x", "IO/blk pb",
+                    "IO/blk ba"});
+  Measurement gate_pb{}, gate_ba{};
+  auto add_row = [&](const char* kind, const Config& c, const Measurement& pb,
+                     const Measurement& ba) {
+    t.add_row({kind, c.sequential ? "seq" : "rand", c.size_name, flags(c),
+               c56::TextTable::fmt(pb.mbps, 1), c56::TextTable::fmt(ba.mbps, 1),
+               c56::TextTable::fmt(pb.mbps > 0 ? ba.mbps / pb.mbps : 0, 2),
+               c56::TextTable::fmt(
+                   pb.device_mbps > 0 ? ba.device_mbps / pb.device_mbps : 0, 2),
+               c56::TextTable::fmt(pb.io_per_blk, 2),
+               c56::TextTable::fmt(ba.io_per_blk, 2)});
+  };
+  for (std::size_t i = 0; i < write_cfgs.size(); ++i) {
+    const Config& c = write_cfgs[i];
+    const Measurement pb = bench.run_write(c, /*batched=*/false);
+    const Measurement ba = bench.run_write(c, /*batched=*/true);
+    if (c.sequential && c.count == per_stripe && !c.degraded && !c.cached) {
+      gate_pb = pb;
+      gate_ba = ba;
+    }
+    add_row("write", c, pb, ba);
+    json_entry(json, "write", c, pb, ba, false);
+  }
+  for (std::size_t i = 0; i < read_cfgs.size(); ++i) {
+    const Config& c = read_cfgs[i];
+    const Measurement pb = bench.run_read(c, /*batched=*/false);
+    const Measurement ba = bench.run_read(c, /*batched=*/true);
+    add_row("read", c, pb, ba);
+    json_entry(json, "read", c, pb, ba, i + 1 == read_cfgs.size());
+  }
+  std::ostringstream table_out;
+  t.print(table_out);
+  std::fputs(table_out.str().c_str(), stdout);
+
+  const double mem_speedup =
+      gate_pb.mbps > 0 ? gate_ba.mbps / gate_pb.mbps : 0;
+  const double dev_speedup =
+      gate_pb.device_mbps > 0 ? gate_ba.device_mbps / gate_pb.device_mbps : 0;
+  const bool pass = gate_ba.mbps > gate_pb.mbps && dev_speedup >= 3.0;
+  json << "  ],\n  \"gate\": {\"workload\": \"seq full-stripe write, "
+          "healthy, cache off\", \"per_block_mbps\": "
+       << gate_pb.mbps << ", \"batched_mbps\": " << gate_ba.mbps
+       << ", \"mem_speedup\": " << mem_speedup
+       << ", \"per_block_device_mbps\": " << gate_pb.device_mbps
+       << ", \"batched_device_mbps\": " << gate_ba.device_mbps
+       << ", \"device_speedup\": " << dev_speedup
+       << ", \"criteria\": \"batched >= per-block in memory and >= 3x on "
+          "the device model\", \"pass\": "
+       << (pass ? "true" : "false") << "}\n}\n";
+
+  std::printf(
+      "\nsequential full-stripe write: in-memory %.1f -> %.1f MB/s "
+      "(%.2fx), device model %.1f -> %.1f MB/s (%.2fx) -> %s\n",
+      gate_pb.mbps, gate_ba.mbps, mem_speedup, gate_pb.device_mbps,
+      gate_ba.device_mbps, dev_speedup, pass ? "PASS" : "FAIL");
+
+  if (FILE* f = std::fopen("BENCH_controller.json", "w")) {
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_controller.json\n");
+  }
+  return pass ? 0 : 1;
+}

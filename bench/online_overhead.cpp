@@ -21,16 +21,16 @@ constexpr std::size_t kBlock = 4096;
 
 void fill_raid5(c56::mig::DiskArray& array, int m) {
   c56::Rng rng(1);
-  std::vector<std::uint8_t> block(kBlock), parity(kBlock);
+  std::vector<std::uint8_t> parity(kBlock);
   for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
     std::fill(parity.begin(), parity.end(), 0);
     const int pdisk = c56::raid5_parity_disk(
         c56::Raid5Flavor::kLeftAsymmetric, static_cast<int>(row % m), m);
     for (int d = 0; d < m; ++d) {
       if (d == pdisk) continue;
-      rng.fill(block.data(), kBlock);
-      std::ranges::copy(block, array.raw_block(d, row).begin());
-      c56::xor_into(parity.data(), block.data(), kBlock);
+      auto blk = array.raw_block(d, row);
+      rng.fill(blk.data(), kBlock);
+      c56::xor_into(parity.data(), blk.data(), kBlock);
     }
     std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
   }

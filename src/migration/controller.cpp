@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "migration/degraded.hpp"
+#include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
 namespace c56::mig {
+
+namespace {
+
+[[noreturn]] void throw_io(const char* what, const IoResult& r) {
+  throw std::runtime_error(std::string("ArrayController: ") + what + " (" +
+                           to_string(r.status) + ") at disk " +
+                           std::to_string(r.disk) + " block " +
+                           std::to_string(r.block));
+}
+
+}  // namespace
 
 ArrayController::ArrayController(DiskArray& array,
                                  std::unique_ptr<ErasureCode> code)
@@ -37,20 +52,50 @@ ArrayController::ArrayController(DiskArray& array,
         "ArrayController: blocks per disk must be a multiple of rows");
   }
   stripes_ = array_.blocks_per_disk() / code_->rows();
-  for (int r = 0; r < code_->rows(); ++r) {
-    for (int c = 0; c < code_->cols(); ++c) {
-      if (code_->kind({r, c}) == CellKind::kData) {
-        data_index_[{r, c}] = static_cast<int>(data_cells_.size());
+
+  const int rows = code_->rows();
+  const int cols = code_->cols();
+  kind_.resize(static_cast<std::size_t>(rows) * cols);
+  data_index_.assign(static_cast<std::size_t>(rows) * cols, -1);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const auto f = static_cast<std::size_t>(r) * cols + c;
+      kind_[f] = code_->kind({r, c});
+      if (kind_[f] == CellKind::kData) {
+        data_index_[f] = static_cast<int>(data_cells_.size());
         data_cells_.push_back({r, c});
       }
     }
   }
-  parities_of_.resize(data_cells_.size());
-  for (const ParityChain& ch : code_->expanded_chains()) {
+
+  // Per-data-cell parity lists and per-parity expanded input lists, laid
+  // out as CSR so the write planner walks plain arrays.
+  const std::vector<ParityChain>& expanded = code_->expanded_chains();
+  std::vector<std::vector<Cell>> by_data(data_cells_.size());
+  chain_begin_.assign(static_cast<std::size_t>(rows) * cols, -1);
+  chain_offset_.push_back(0);
+  for (const ParityChain& ch : expanded) {
+    chain_begin_[static_cast<std::size_t>(flat_of(ch.parity))] =
+        static_cast<int>(chain_offset_.size()) - 1;
     for (Cell in : ch.inputs) {
-      auto it = data_index_.find({in.row, in.col});
-      assert(it != data_index_.end());
-      parities_of_[static_cast<std::size_t>(it->second)].push_back(ch.parity);
+      const int idx = data_index_[static_cast<std::size_t>(flat_of(in))];
+      assert(idx >= 0);
+      by_data[static_cast<std::size_t>(idx)].push_back(ch.parity);
+      chain_inputs_.push_back(in);
+    }
+    chain_offset_.push_back(static_cast<int>(chain_inputs_.size()));
+  }
+  parities_offset_.push_back(0);
+  for (const std::vector<Cell>& ps : by_data) {
+    parities_cells_.insert(parities_cells_.end(), ps.begin(), ps.end());
+    parities_offset_.push_back(static_cast<int>(parities_cells_.size()));
+  }
+
+  if (const char* env = std::getenv("C56_CACHE_STRIPES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      set_cache_stripes(static_cast<std::size_t>(v));
     }
   }
 }
@@ -67,8 +112,26 @@ ArrayController::Locus ArrayController::locate(std::int64_t logical) const {
 }
 
 bool ArrayController::cell_failed(Cell c) const {
-  if (code_->kind(c) == CellKind::kVirtual) return false;
+  if (kind_[static_cast<std::size_t>(flat_of(c))] == CellKind::kVirtual) {
+    return false;
+  }
   return failed_.count(disk_of(c.col)) != 0;
+}
+
+std::span<const Cell> ArrayController::parity_inputs(int pflat) const {
+  const int k = chain_begin_[static_cast<std::size_t>(pflat)];
+  assert(k >= 0 && "cell is not a parity");
+  return std::span<const Cell>(chain_inputs_)
+      .subspan(static_cast<std::size_t>(chain_offset_[k]),
+               static_cast<std::size_t>(chain_offset_[k + 1] -
+                                        chain_offset_[k]));
+}
+
+std::span<const Cell> ArrayController::parities_of(int idx) const {
+  return std::span<const Cell>(parities_cells_)
+      .subspan(static_cast<std::size_t>(parities_offset_[idx]),
+               static_cast<std::size_t>(parities_offset_[idx + 1] -
+                                        parities_offset_[idx]));
 }
 
 const std::vector<RecoveryRecipe>& ArrayController::recipes() {
@@ -87,7 +150,7 @@ const std::vector<RecoveryRecipe>& ArrayController::recipes() {
 
 void ArrayController::read_cell(std::int64_t stripe, Cell c,
                                 std::span<std::uint8_t> out) {
-  if (code_->kind(c) == CellKind::kVirtual) {
+  if (kind_[static_cast<std::size_t>(flat_of(c))] == CellKind::kVirtual) {
     std::ranges::fill(out, std::uint8_t{0});
     return;
   }
@@ -97,18 +160,13 @@ void ArrayController::read_cell(std::int64_t stripe, Cell c,
     const IoResult r = read_block_retry(array_, disk_of(c.col),
                                         block_of(stripe, c.row), out,
                                         RetryPolicy{}, nullptr);
-    if (!r.ok()) {
-      throw std::runtime_error(std::string("ArrayController: read failed (") +
-                               to_string(r.status) + ") at disk " +
-                               std::to_string(r.disk) + " block " +
-                               std::to_string(r.block));
-    }
+    if (!r.ok()) throw_io("read failed", r);
   }
 }
 
 void ArrayController::reconstruct_cell(std::int64_t stripe, Cell c,
                                        std::span<std::uint8_t> out) {
-  const int flat = flat_index(c, code_->cols());
+  const int flat = flat_of(c);
   const RecoveryRecipe* recipe = nullptr;
   for (const RecoveryRecipe& r : recipes()) {
     if (r.target == flat) {
@@ -128,30 +186,32 @@ void ArrayController::reconstruct_cell(std::int64_t stripe, Cell c,
     srcs.push_back({disk_of(sc.col), block_of(stripe, sc.row)});
   }
   const IoResult r = xor_chain_read(array_, srcs, out, RetryPolicy{}, nullptr);
-  if (!r.ok()) {
-    throw std::runtime_error(
-        std::string("ArrayController: reconstruction read failed (") +
-        to_string(r.status) + ") at disk " + std::to_string(r.disk) +
-        " block " + std::to_string(r.block));
-  }
+  if (!r.ok()) throw_io("reconstruction read failed", r);
 }
 
 void ArrayController::read(std::int64_t logical, std::span<std::uint8_t> out) {
   const Locus l = locate(logical);
+  if (cache_ && cache_->lookup(l.stripe, flat_of(l.cell), out)) return;
   read_cell(l.stripe, l.cell, out);
+  cache_fill(l.stripe, l.cell, out);
 }
 
 void ArrayController::write(std::int64_t logical,
                             std::span<const std::uint8_t> in) {
   const Locus l = locate(logical);
   const std::size_t bs = array_.block_bytes();
-  Buffer old(bs), delta(bs), par(bs);
-  read_cell(l.stripe, l.cell, old.span());  // reconstructs when degraded
+  PooledBuffer old(bs), delta(bs), par(bs);
+  if (!(cache_ && cache_->lookup(l.stripe, flat_of(l.cell), old.span()))) {
+    read_cell(l.stripe, l.cell, old.span());  // reconstructs when degraded
+  }
   xor_to(delta.data(), old.data(), in.data(), bs);
-  if (all_zero(delta.span())) return;  // idempotent write, nothing to do
+  if (all_zero(delta.span())) {  // idempotent write, nothing to do
+    cache_fill(l.stripe, l.cell, in);
+    return;
+  }
 
-  const int idx = data_index_.at({l.cell.row, l.cell.col});
-  for (Cell pc : parities_of_[static_cast<std::size_t>(idx)]) {
+  const int idx = data_index_[static_cast<std::size_t>(flat_of(l.cell))];
+  for (Cell pc : parities_of(idx)) {
     if (cell_failed(pc)) continue;  // regenerated at rebuild time
     const int d = disk_of(pc.col);
     const std::int64_t b = block_of(l.stripe, pc.row);
@@ -163,6 +223,344 @@ void ArrayController::write(std::int64_t logical,
     array_.write_block(disk_of(l.cell.col), block_of(l.stripe, l.cell.row),
                        in);
   }
+  cache_fill(l.stripe, l.cell, in);
+}
+
+void ArrayController::read(std::int64_t logical, std::int64_t count,
+                           std::span<std::uint8_t> out) {
+  const std::size_t bs = array_.block_bytes();
+  if (count <= 0 || logical < 0 || logical + count > logical_blocks()) {
+    throw std::out_of_range("ArrayController::read: bad logical range");
+  }
+  if (out.size() != static_cast<std::size_t>(count) * bs) {
+    throw std::invalid_argument("ArrayController::read: bad buffer size");
+  }
+  const auto per = static_cast<std::int64_t>(data_cells_.size());
+  std::int64_t done = 0;
+  while (done < count) {
+    const std::int64_t l = logical + done;
+    const auto i0 = static_cast<int>(l % per);
+    const auto n =
+        static_cast<int>(std::min<std::int64_t>(per - i0, count - done));
+    read_run(l / per, i0, n,
+             out.subspan(static_cast<std::size_t>(done) * bs,
+                         static_cast<std::size_t>(n) * bs));
+    done += n;
+  }
+}
+
+void ArrayController::write(std::int64_t logical, std::int64_t count,
+                            std::span<const std::uint8_t> in) {
+  const std::size_t bs = array_.block_bytes();
+  if (count <= 0 || logical < 0 || logical + count > logical_blocks()) {
+    throw std::out_of_range("ArrayController::write: bad logical range");
+  }
+  if (in.size() != static_cast<std::size_t>(count) * bs) {
+    throw std::invalid_argument("ArrayController::write: bad buffer size");
+  }
+  const auto per = static_cast<std::int64_t>(data_cells_.size());
+  std::int64_t done = 0;
+  while (done < count) {
+    const std::int64_t l = logical + done;
+    const auto i0 = static_cast<int>(l % per);
+    const auto n =
+        static_cast<int>(std::min<std::int64_t>(per - i0, count - done));
+    const auto chunk = in.subspan(static_cast<std::size_t>(done) * bs,
+                                  static_cast<std::size_t>(n) * bs);
+    if (i0 == 0 && n == per) {
+      write_full_stripe(l / per, chunk);
+    } else {
+      write_partial_stripe(l / per, i0, n, chunk);
+    }
+    done += n;
+  }
+}
+
+void ArrayController::read_run(std::int64_t stripe, int i0, int n,
+                               std::span<std::uint8_t> out) {
+  std::vector<CellFetch> want(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    want[static_cast<std::size_t>(k)] = {
+        data_cells_[static_cast<std::size_t>(i0 + k)], k};
+  }
+  fetch_cells(stripe, want, out.data(), /*use_cache=*/true);
+}
+
+void ArrayController::fetch_cells(std::int64_t stripe,
+                                  std::span<const CellFetch> want,
+                                  std::uint8_t* dst_blocks, bool use_cache) {
+  const std::size_t bs = array_.block_bytes();
+  std::vector<CellFetch> rest;  // cache misses on surviving disks
+  rest.reserve(want.size());
+  for (const CellFetch& cf : want) {
+    const std::span<std::uint8_t> dst{
+        dst_blocks + static_cast<std::size_t>(cf.dst) * bs, bs};
+    if (use_cache && cache_ && cache_->lookup(stripe, flat_of(cf.cell), dst)) {
+      continue;
+    }
+    if (cell_failed(cf.cell)) {
+      reconstruct_cell(stripe, cf.cell, dst);
+      if (use_cache) cache_fill(stripe, cf.cell, dst);
+      continue;
+    }
+    rest.push_back(cf);
+  }
+  std::sort(rest.begin(), rest.end(),
+            [](const CellFetch& a, const CellFetch& b) {
+              return std::pair(a.cell.col, a.cell.row) <
+                     std::pair(b.cell.col, b.cell.row);
+            });
+  std::size_t i = 0;
+  while (i < rest.size()) {
+    std::size_t j = i + 1;
+    while (j < rest.size() && rest[j].cell.col == rest[i].cell.col &&
+           rest[j].cell.row == rest[j - 1].cell.row + 1) {
+      ++j;
+    }
+    const auto m = static_cast<int>(j - i);
+    const int d = disk_of(rest[i].cell.col);
+    const std::int64_t b0 = block_of(stripe, rest[i].cell.row);
+    bool per_block = (m == 1);
+    if (m > 1) {
+      PooledBuffer staging(static_cast<std::size_t>(m) * bs);
+      const IoResult r = array_.read_blocks(d, b0, m, staging.span());
+      if (r.ok()) {
+        for (int k = 0; k < m; ++k) {
+          const std::span<std::uint8_t> dst{
+              dst_blocks + static_cast<std::size_t>(rest[i + k].dst) * bs, bs};
+          std::memcpy(dst.data(),
+                      staging.data() + static_cast<std::size_t>(k) * bs, bs);
+          if (use_cache) cache_fill(stripe, rest[i + k].cell, dst);
+        }
+      } else {
+        per_block = true;  // injected fault: reads are idempotent, redo
+      }
+    }
+    if (per_block) {
+      for (int k = 0; k < m; ++k) {
+        const std::span<std::uint8_t> dst{
+            dst_blocks + static_cast<std::size_t>(rest[i + k].dst) * bs, bs};
+        const IoResult r = read_block_retry(array_, d, b0 + k, dst,
+                                            RetryPolicy{}, nullptr);
+        if (!r.ok()) throw_io("read failed", r);
+        if (use_cache) cache_fill(stripe, rest[i + k].cell, dst);
+      }
+    }
+    i = j;
+  }
+}
+
+void ArrayController::write_cells(std::int64_t stripe,
+                                  std::span<const CellWrite> want) {
+  if (want.empty()) return;
+  const std::size_t bs = array_.block_bytes();
+  std::vector<CellWrite> w(want.begin(), want.end());
+  std::sort(w.begin(), w.end(), [](const CellWrite& a, const CellWrite& b) {
+    return std::pair(a.cell.col, a.cell.row) <
+           std::pair(b.cell.col, b.cell.row);
+  });
+  PooledBuffer staging(static_cast<std::size_t>(code_->rows()) * bs);
+  std::size_t i = 0;
+  while (i < w.size()) {
+    std::size_t j = i + 1;
+    while (j < w.size() && w[j].cell.col == w[i].cell.col &&
+           w[j].cell.row == w[j - 1].cell.row + 1) {
+      ++j;
+    }
+    const auto m = static_cast<int>(j - i);
+    const int d = disk_of(w[i].cell.col);
+    const std::int64_t b0 = block_of(stripe, w[i].cell.row);
+    if (m == 1) {
+      array_.write_block(d, b0, {w[i].src, bs});
+    } else {
+      for (int k = 0; k < m; ++k) {
+        std::memcpy(staging.data() + static_cast<std::size_t>(k) * bs,
+                    w[i + k].src, bs);
+      }
+      const IoResult r = array_.write_blocks(
+          d, b0, m,
+          staging.span().subspan(0, static_cast<std::size_t>(m) * bs));
+      if (r.status == IoStatus::kTornWrite) {
+        // A torn block is repaired by a full rewrite; redo the run per
+        // block so only the torn one is retried with backoff.
+        for (int k = 0; k < m; ++k) {
+          write_block_retry(array_, d, b0 + k, {w[i + k].src, bs},
+                            RetryPolicy{}, nullptr);
+        }
+      }
+    }
+    i = j;
+  }
+}
+
+void ArrayController::write_full_stripe(std::int64_t stripe,
+                                        std::span<const std::uint8_t> in) {
+  const std::size_t bs = array_.block_bytes();
+  const int rows = code_->rows();
+  const int cols = code_->cols();
+  PooledBuffer sbuf(static_cast<std::size_t>(code_->cell_count()) * bs);
+  StripeView v(sbuf.span(), rows, cols, bs);
+  for (std::size_t i = 0; i < data_cells_.size(); ++i) {
+    std::memcpy(v.block(data_cells_[i]).data(), in.data() + i * bs, bs);
+  }
+  code_->encode(v);  // regenerates every parity; zero pre-reads issued
+  std::vector<CellWrite> wr;
+  wr.reserve(static_cast<std::size_t>(rows) *
+             static_cast<std::size_t>(cols - virtual_cols_));
+  for (int c = virtual_cols_; c < cols; ++c) {
+    if (failed_.count(disk_of(c))) continue;  // regenerated at rebuild time
+    for (int r = 0; r < rows; ++r) {
+      if (kind_[static_cast<std::size_t>(r) * cols + c] ==
+          CellKind::kVirtual) {
+        continue;
+      }
+      wr.push_back({{r, c}, v.block({r, c}).data()});
+    }
+  }
+  write_cells(stripe, wr);
+  for (std::size_t i = 0; i < data_cells_.size(); ++i) {
+    cache_fill(stripe, data_cells_[i], in.subspan(i * bs, bs));
+  }
+}
+
+void ArrayController::write_partial_stripe(std::int64_t stripe, int i0, int n,
+                                           std::span<const std::uint8_t> in) {
+  const std::size_t bs = array_.block_bytes();
+  const int cols = code_->cols();
+
+  // Surviving parities touched by the range, each listed once.
+  std::vector<int> affected;  // flat parity indices
+  std::vector<char> seen(kind_.size(), 0);
+  for (int k = 0; k < n; ++k) {
+    for (Cell pc : parities_of(i0 + k)) {
+      const auto pf = static_cast<std::size_t>(flat_of(pc));
+      if (seen[pf]) continue;
+      seen[pf] = 1;
+      if (cell_failed(pc)) continue;  // regenerated at rebuild time
+      affected.push_back(static_cast<int>(pf));
+    }
+  }
+
+  // A parity whose whole expanded input set lies inside the range is
+  // computed directly from the new values (no pre-read of the parity or
+  // of old data); this is what makes a full row as cheap as a full
+  // stripe. Everything else is read-modify-write with the deltas of its
+  // in-range inputs coalesced, so old data values are needed only for
+  // cells feeding at least one RMW parity.
+  const auto in_range = [&](Cell c) {
+    const int idx = data_index_[static_cast<std::size_t>(flat_of(c))];
+    return idx >= i0 && idx < i0 + n;
+  };
+  std::vector<char> direct(affected.size(), 0);
+  std::vector<char> need_old(static_cast<std::size_t>(n), 0);
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    bool all = true;
+    for (Cell ic : parity_inputs(affected[a])) {
+      if (!in_range(ic)) {
+        all = false;
+        break;
+      }
+    }
+    direct[a] = all ? 1 : 0;
+    if (!all) {
+      for (Cell ic : parity_inputs(affected[a])) {
+        if (in_range(ic)) {
+          const int idx = data_index_[static_cast<std::size_t>(flat_of(ic))];
+          need_old[static_cast<std::size_t>(idx - i0)] = 1;
+        }
+      }
+    }
+  }
+
+  // Old values of the needed cells, turned into deltas in place.
+  PooledBuffer old(static_cast<std::size_t>(n) * bs);
+  std::vector<CellFetch> want;
+  for (int k = 0; k < n; ++k) {
+    if (need_old[static_cast<std::size_t>(k)]) {
+      want.push_back({data_cells_[static_cast<std::size_t>(i0 + k)], k});
+    }
+  }
+  fetch_cells(stripe, want, old.data(), /*use_cache=*/true);
+  for (int k = 0; k < n; ++k) {
+    if (need_old[static_cast<std::size_t>(k)]) {
+      xor_into(old.data() + static_cast<std::size_t>(k) * bs,
+               in.data() + static_cast<std::size_t>(k) * bs, bs);
+    }
+  }
+
+  // New parity values: direct ones accumulate the new inputs in one
+  // pass; RMW ones pre-read once (batched per column) and fold in the
+  // coalesced deltas, so each parity block is read and written at most
+  // once for the whole range.
+  PooledBuffer pbuf(std::max<std::size_t>(1, affected.size()) * bs);
+  std::vector<CellFetch> pre;
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    if (!direct[a]) {
+      pre.push_back({cell_of_index(affected[a], cols), static_cast<int>(a)});
+    }
+  }
+  fetch_cells(stripe, pre, pbuf.data(), /*use_cache=*/false);
+  std::vector<const std::uint8_t*> srcs;
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    std::uint8_t* par = pbuf.data() + a * bs;
+    if (direct[a]) {
+      srcs.clear();
+      for (Cell ic : parity_inputs(affected[a])) {
+        const int idx = data_index_[static_cast<std::size_t>(flat_of(ic))];
+        srcs.push_back(in.data() + static_cast<std::size_t>(idx - i0) * bs);
+      }
+      xor_accumulate(par, reinterpret_cast<const void* const*>(srcs.data()),
+                     srcs.size(), bs);
+    } else {
+      for (Cell ic : parity_inputs(affected[a])) {
+        if (!in_range(ic)) continue;
+        const int idx = data_index_[static_cast<std::size_t>(flat_of(ic))];
+        xor_into(par, old.data() + static_cast<std::size_t>(idx - i0) * bs,
+                 bs);
+      }
+    }
+  }
+
+  // One batched flush for parities and surviving data blocks alike.
+  std::vector<CellWrite> wr;
+  wr.reserve(affected.size() + static_cast<std::size_t>(n));
+  for (std::size_t a = 0; a < affected.size(); ++a) {
+    wr.push_back({cell_of_index(affected[a], cols), pbuf.data() + a * bs});
+  }
+  for (int k = 0; k < n; ++k) {
+    const Cell c = data_cells_[static_cast<std::size_t>(i0 + k)];
+    if (!cell_failed(c)) {
+      wr.push_back({c, in.data() + static_cast<std::size_t>(k) * bs});
+    }
+  }
+  write_cells(stripe, wr);
+  for (int k = 0; k < n; ++k) {
+    cache_fill(stripe, data_cells_[static_cast<std::size_t>(i0 + k)],
+               in.subspan(static_cast<std::size_t>(k) * bs, bs));
+  }
+}
+
+void ArrayController::set_cache_stripes(std::size_t n) {
+  cache_stripes_ = n;
+  if (n == 0) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<StripeCache>(n, code_->cell_count(),
+                                         array_.block_bytes());
+}
+
+void ArrayController::invalidate_cache() {
+  if (cache_) cache_->invalidate_all();
+}
+
+StripeCache::Stats ArrayController::cache_stats() const {
+  return cache_ ? cache_->stats() : StripeCache::Stats{};
+}
+
+void ArrayController::invalidate_recovery_state() {
+  recipes_valid_ = false;
+  invalidate_cache();
 }
 
 void ArrayController::fail_disk(int disk) {
@@ -174,7 +572,7 @@ void ArrayController::fail_disk(int disk) {
     throw std::runtime_error("fail_disk: fault tolerance exceeded");
   }
   failed_.insert(disk);
-  recipes_valid_ = false;
+  invalidate_recovery_state();
 }
 
 bool ArrayController::failed(int disk) const {
@@ -186,43 +584,77 @@ std::int64_t ArrayController::rebuild_disk(int disk) {
     throw std::invalid_argument("rebuild_disk: disk is not failed");
   }
   const int col = col_of(disk);
+  const int rows = code_->rows();
+  const std::size_t bs = array_.block_bytes();
   std::int64_t rebuilt = 0;
-  Buffer block(array_.block_bytes());
+  PooledBuffer colbuf(static_cast<std::size_t>(rows) * bs);
+  std::vector<CellWrite> wr;
   for (std::int64_t s = 0; s < stripes_; ++s) {
-    for (int r = 0; r < code_->rows(); ++r) {
+    wr.clear();
+    for (int r = 0; r < rows; ++r) {
       const Cell c{r, col};
-      if (code_->kind(c) == CellKind::kVirtual) continue;
-      reconstruct_cell(s, c, block.span());
-      array_.write_block(disk, block_of(s, r), block.span());
+      if (kind_[static_cast<std::size_t>(flat_of(c))] == CellKind::kVirtual) {
+        continue;
+      }
+      const auto dst = colbuf.block(static_cast<std::size_t>(r), bs);
+      reconstruct_cell(s, c, dst);
+      wr.push_back({c, dst.data()});
       ++rebuilt;
     }
+    write_cells(s, wr);
   }
   failed_.erase(disk);
-  recipes_valid_ = false;
+  // The rebuild both changes the recovery recipes for any later failure
+  // and rewrites the array underneath previously cached logical values
+  // of this column — drop both.
+  invalidate_recovery_state();
   return rebuilt;
 }
 
 Buffer ArrayController::read_stripe(std::int64_t stripe) const {
+  Buffer buf(static_cast<std::size_t>(code_->cell_count()) *
+             array_.block_bytes());
+  read_stripe_into(stripe, buf.span());
+  return buf;
+}
+
+void ArrayController::read_stripe_into(std::int64_t stripe,
+                                       std::span<std::uint8_t> out) const {
   const std::size_t bs = array_.block_bytes();
-  Buffer buf(static_cast<std::size_t>(code_->cell_count()) * bs);
-  StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), bs);
-  for (int r = 0; r < code_->rows(); ++r) {
-    for (int c = 0; c < code_->cols(); ++c) {
-      if (code_->kind({r, c}) == CellKind::kVirtual) continue;
-      const auto src =
-          array_.raw_block(disk_of(c), block_of(stripe, r));
-      std::ranges::copy(src, v.block({r, c}).begin());
+  const int rows = code_->rows();
+  const int cols = code_->cols();
+  if (out.size() != static_cast<std::size_t>(code_->cell_count()) * bs) {
+    throw std::invalid_argument("read_stripe_into: bad buffer size");
+  }
+  StripeView v(out, rows, cols, bs);
+  const DiskArray& array = array_;
+  for (int c = 0; c < cols; ++c) {
+    const std::span<const std::uint8_t> col_src =
+        c < virtual_cols_
+            ? std::span<const std::uint8_t>{}
+            : array.raw_blocks(disk_of(c),
+                               stripe * static_cast<std::int64_t>(rows),
+                               rows);
+    for (int r = 0; r < rows; ++r) {
+      const auto dst = v.block({r, c});
+      if (kind_[static_cast<std::size_t>(r) * cols + c] ==
+          CellKind::kVirtual) {
+        std::memset(dst.data(), 0, bs);
+      } else {
+        std::memcpy(dst.data(),
+                    col_src.data() + static_cast<std::size_t>(r) * bs, bs);
+      }
     }
   }
-  return buf;
 }
 
 std::vector<std::int64_t> ArrayController::scrub() {
   std::vector<std::int64_t> bad;
   const std::size_t bs = array_.block_bytes();
+  PooledBuffer buf(static_cast<std::size_t>(code_->cell_count()) * bs);
   for (std::int64_t s = 0; s < stripes_; ++s) {
-    Buffer buf = read_stripe(s);
-    StripeView v = StripeView::over(buf, code_->rows(), code_->cols(), bs);
+    read_stripe_into(s, buf.span());
+    StripeView v(buf.span(), code_->rows(), code_->cols(), bs);
     if (!code_->verify(v)) bad.push_back(s);
   }
   return bad;

@@ -13,9 +13,31 @@
 // Geometry: disk d stores target column d + v of the code (v = virtual
 // columns, which have no physical disk); logical data blocks enumerate
 // the code's data cells stripe by stripe in row-major order.
+//
+// Two I/O paths exist side by side:
+//   * the per-block read(l, out)/write(l, in) pair — one block, one
+//     read-modify-write per affected parity (Table III's metric);
+//   * the ranged read(l, count, out)/write(l, count, in) pair — the
+//     batched stripe-aware planner. Requests are grouped by stripe; a
+//     write covering every data cell of a stripe regenerates parity
+//     with encode() and issues no pre-reads at all; a partial-stripe
+//     write coalesces the parity deltas of all its blocks so each
+//     parity block is read and written at most once per stripe, and a
+//     parity whose full input set is in the batch is computed directly
+//     (no pre-read). Disk I/O is issued through the vectored
+//     DiskArray::read_blocks/write_blocks, one run per per-column
+//     stretch. Both paths leave byte-identical array contents on
+//     parity-consistent stripes (which a zeroed array already is, and
+//     which every path here maintains).
+//
+// An optional write-through stripe cache (set_cache_stripes() or
+// C56_CACHE_STRIPES, default off) caches *data* cells at their current
+// logical value: reads fill it, writes update it, so a hit never goes
+// to disk. fail_disk/rebuild_disk invalidate it wholesale; external
+// writers to the same DiskArray (e.g. an online-migration hand-off)
+// must call invalidate_cache().
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <span>
 #include <set>
@@ -23,6 +45,7 @@
 
 #include "codes/erasure_code.hpp"
 #include "migration/disk_array.hpp"
+#include "migration/stripe_cache.hpp"
 
 namespace c56::mig {
 
@@ -42,6 +65,26 @@ class ArrayController {
   void read(std::int64_t logical, std::span<std::uint8_t> out);
   void write(std::int64_t logical, std::span<const std::uint8_t> in);
 
+  /// Ranged data-block I/O over [logical, logical + count): the batched
+  /// stripe-aware path (see header comment). The buffer holds count
+  /// consecutive logical blocks.
+  void read(std::int64_t logical, std::int64_t count,
+            std::span<std::uint8_t> out);
+  void write(std::int64_t logical, std::int64_t count,
+             std::span<const std::uint8_t> in);
+
+  /// Stripe cache control. n == 0 disables (the default, unless the
+  /// C56_CACHE_STRIPES environment variable set a size at construction
+  /// time). Resizing drops all cached contents.
+  void set_cache_stripes(std::size_t n);
+  std::size_t cache_stripes() const { return cache_stripes_; }
+  /// Drop every cached block. Required after anything other than this
+  /// controller writes the underlying DiskArray (migration hand-off,
+  /// raw_block pokes, ...).
+  void invalidate_cache();
+  /// Zeroed stats when the cache is disabled.
+  StripeCache::Stats cache_stats() const;
+
   /// Failure management. At most two concurrent failures (the code's
   /// fault tolerance); fail_disk throws beyond that.
   void fail_disk(int disk);
@@ -54,9 +97,19 @@ class ArrayController {
   /// Verify every stripe; returns the indices of inconsistent stripes.
   std::vector<std::int64_t> scrub();
 
-  /// Cells of one stripe as a fresh buffer + view (failed columns are
-  /// read as stored — callers deciding to decode do so explicitly).
+  /// Cells of one stripe as a buffer + view. Contract: blocks are read
+  /// *as stored* through the raw (uncounted, fault-free) backdoor —
+  /// failed columns are NOT reconstructed, they return whatever stale
+  /// bytes the dead disk holds, and the stripe cache is bypassed.
+  /// Callers that want the logical value of a failed cell must decode
+  /// explicitly. read_stripe() allocates a fresh Buffer per call;
+  /// loop-heavy callers (scrub, migrators) should call
+  /// read_stripe_into() with a reused/pooled buffer instead.
   Buffer read_stripe(std::int64_t stripe) const;
+  /// Same contract, into caller storage of exactly
+  /// cell_count() * block_bytes() bytes (checked).
+  void read_stripe_into(std::int64_t stripe,
+                        std::span<std::uint8_t> out) const;
 
  private:
   struct Locus {
@@ -69,23 +122,70 @@ class ArrayController {
   std::int64_t block_of(std::int64_t stripe, int row) const {
     return stripe * code_->rows() + row;
   }
+  int flat_of(Cell c) const { return c.row * code_->cols() + c.col; }
   bool cell_failed(Cell c) const;
+  /// Expanded data-cell inputs of the parity at flat index `pflat`.
+  std::span<const Cell> parity_inputs(int pflat) const;
+  /// Parities fed by data cell index `idx` (CSR over flat arrays).
+  std::span<const Cell> parities_of(int idx) const;
   /// Recovery recipes for the current failure set (lazily solved).
   const std::vector<RecoveryRecipe>& recipes();
   void read_cell(std::int64_t stripe, Cell c, std::span<std::uint8_t> out);
   void reconstruct_cell(std::int64_t stripe, Cell c,
                         std::span<std::uint8_t> out);
+  void invalidate_recovery_state();  // recipes + cache
+  // Batched-path stages (one stripe each; i0/n index the stripe's data
+  // cells in logical order).
+  void read_run(std::int64_t stripe, int i0, int n,
+                std::span<std::uint8_t> out);
+  void write_full_stripe(std::int64_t stripe,
+                         std::span<const std::uint8_t> in);
+  void write_partial_stripe(std::int64_t stripe, int i0, int n,
+                            std::span<const std::uint8_t> in);
+  // Vectored cell I/O: both group the requested cells into per-column
+  // runs of consecutive rows and issue one DiskArray batch per run.
+  struct CellFetch {
+    Cell cell;
+    int dst;  // block index inside the destination buffer
+  };
+  /// Current logical values of the given cells (cache, then batched
+  /// disk reads, reconstructing failed cells). use_cache=false for
+  /// parity cells, which must never enter the data-cell cache.
+  void fetch_cells(std::int64_t stripe, std::span<const CellFetch> want,
+                   std::uint8_t* dst_blocks, bool use_cache);
+  struct CellWrite {
+    Cell cell;
+    const std::uint8_t* src;  // one block
+  };
+  void write_cells(std::int64_t stripe, std::span<const CellWrite> want);
+  void cache_fill(std::int64_t stripe, Cell c,
+                  std::span<const std::uint8_t> v) {
+    if (cache_) cache_->fill(stripe, flat_of(c), v);
+  }
 
   DiskArray& array_;
   std::unique_ptr<ErasureCode> code_;
   int virtual_cols_;
   std::int64_t stripes_;
-  std::vector<Cell> data_cells_;                   // logical order
-  std::vector<std::vector<Cell>> parities_of_;     // per data cell index
-  std::map<std::pair<int, int>, int> data_index_;  // cell -> logical idx
-  std::set<int> failed_;                           // failed disk ids
-  std::vector<RecoveryRecipe> recipes_;            // for failed_ set
+
+  // Flat dense cell metadata, computed once in the constructor and
+  // indexed by row * cols + col (no maps on the hot path).
+  std::vector<Cell> data_cells_;       // logical order
+  std::vector<int> data_index_;        // flat cell -> logical idx, -1
+  std::vector<CellKind> kind_;         // flat cell -> kind
+  std::vector<int> parities_offset_;   // CSR: per data idx into ...
+  std::vector<Cell> parities_cells_;   // ... this parity-cell pool
+  std::vector<int> chain_offset_;      // CSR: flat parity -> inputs in ...
+  std::vector<Cell> chain_inputs_;     // ... this expanded-input pool
+  std::vector<int> chain_begin_;       // flat parity -> index into offsets
+                                       // (-1 for non-parity cells)
+
+  std::set<int> failed_;                // failed disk ids
+  std::vector<RecoveryRecipe> recipes_; // for failed_ set
   bool recipes_valid_ = false;
+
+  std::unique_ptr<StripeCache> cache_;  // null when disabled
+  std::size_t cache_stripes_ = 0;
 };
 
 }  // namespace c56::mig

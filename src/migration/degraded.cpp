@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "xorblk/buffer.hpp"
+#include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
 namespace c56::mig {
@@ -56,20 +57,28 @@ IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
 IoResult xor_chain_read(DiskArray& a, std::span<const BlockAddr> sources,
                         std::span<std::uint8_t> out,
                         const RetryPolicy& policy, IoCounters* counters) {
-  // Stage every chain member into one arena, then fold them in a single
-  // accumulate pass — the parity is produced without re-reading out.
+  // Stage every chain member into one pooled arena, then fold them in a
+  // single accumulate pass — the parity is produced without re-reading
+  // out, and steady-state reconstruction allocates nothing.
   const std::size_t bs = a.block_bytes();
-  Buffer arena(bs * sources.size());
-  std::vector<const std::uint8_t*> srcs;
-  srcs.reserve(sources.size());
+  PooledBuffer arena(bs * sources.size());
+  constexpr std::size_t kInline = 64;
+  const std::uint8_t* inline_srcs[kInline];
+  std::vector<const std::uint8_t*> heap_srcs;
+  const std::uint8_t** srcs = inline_srcs;
+  if (sources.size() > kInline) {
+    heap_srcs.resize(sources.size());
+    srcs = heap_srcs.data();
+  }
   for (std::size_t i = 0; i < sources.size(); ++i) {
     auto slot = arena.block(i, bs);
     const IoResult r = read_block_retry(a, sources[i].disk, sources[i].block,
                                         slot, policy, counters);
     if (!r.ok()) return r;
-    srcs.push_back(slot.data());
+    srcs[i] = slot.data();
   }
-  xor_accumulate(out, srcs);
+  xor_accumulate(out.data(), reinterpret_cast<const void* const*>(srcs),
+                 sources.size(), bs);
   return IoResult::success();
 }
 

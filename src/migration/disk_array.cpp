@@ -60,6 +60,32 @@ std::span<const std::uint8_t> DiskArray::raw_block(
       static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
 }
 
+void DiskArray::check_run(int disk, std::int64_t block,
+                          std::int64_t count) const {
+  check(disk, block);
+  if (count <= 0 || block + count > blocks_per_disk_) {
+    throw std::out_of_range("DiskArray: run of " + std::to_string(count) +
+                            " blocks at " + std::to_string(block) +
+                            " outside " + std::to_string(blocks_per_disk_));
+  }
+}
+
+std::span<std::uint8_t> DiskArray::raw_blocks(int disk, std::int64_t block,
+                                              std::int64_t count) {
+  check_run(disk, block, count);
+  return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_,
+      static_cast<std::size_t>(count) * block_bytes_);
+}
+
+std::span<const std::uint8_t> DiskArray::raw_blocks(
+    int disk, std::int64_t block, std::int64_t count) const {
+  check_run(disk, block, count);
+  return disks_[static_cast<std::size_t>(disk)]->data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_,
+      static_cast<std::size_t>(count) * block_bytes_);
+}
+
 void DiskArray::set_fault_plan(const FaultPlan& plan) {
   std::lock_guard lk(fault_mu_);
   for (auto& d : disks_) {
@@ -129,6 +155,7 @@ IoResult DiskArray::read_block(int disk, std::int64_t block,
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.reads.fetch_add(1, std::memory_order_relaxed);
+  d.read_runs.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
     d.failed.store(true);
@@ -152,6 +179,7 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.writes.fetch_add(1, std::memory_order_relaxed);
+  d.write_runs.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
     d.failed.store(true);
@@ -165,6 +193,106 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
   }
   std::memcpy(dst.data(), in.data(), block_bytes_);
   if (injecting_) clear_bad(disk, block);  // successful rewrite remaps
+  return IoResult::success();
+}
+
+IoResult DiskArray::read_blocks(int disk, std::int64_t block,
+                                std::int64_t count,
+                                std::span<std::uint8_t> out) {
+  check_run(disk, block, count);
+  if (out.size() != static_cast<std::size_t>(count) * block_bytes_) {
+    throw std::invalid_argument("DiskArray::read_blocks: bad buffer size");
+  }
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.reads.fetch_add(static_cast<std::uint64_t>(count),
+                    std::memory_order_relaxed);
+  d.read_runs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
+                                            std::memory_order_relaxed);
+  // Per-block fail_after semantics: block k of the run carries ordinal
+  // ord+k, so the run survives only its first fail_after-ord blocks.
+  const bool was_failed = d.failed.load();
+  const std::uint64_t fail_at = d.fail_after.load(std::memory_order_relaxed);
+  std::int64_t ok = count;
+  if (fail_at <= ord) {
+    ok = 0;
+  } else if (fail_at - ord < static_cast<std::uint64_t>(count)) {
+    ok = static_cast<std::int64_t>(fail_at - ord);
+  }
+  if (ok < count) d.failed.store(true);
+  if (was_failed) ok = 0;  // already-failed disk
+  const auto src = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_,
+      static_cast<std::size_t>(count) * block_bytes_);
+  if (!injecting_) {
+    if (ok > 0) {
+      std::memcpy(out.data(), src.data(),
+                  static_cast<std::size_t>(ok) * block_bytes_);
+    }
+    if (ok < count) return IoResult::fail(IoStatus::kDiskFailed, disk,
+                                          block + ok);
+    return IoResult::success();
+  }
+  for (std::int64_t k = 0; k < ok; ++k) {
+    if (is_bad(disk, block + k) || roll(sector_error_rate_)) {
+      return IoResult::fail(IoStatus::kSectorError, disk, block + k);
+    }
+    std::memcpy(out.data() + static_cast<std::size_t>(k) * block_bytes_,
+                src.data() + static_cast<std::size_t>(k) * block_bytes_,
+                block_bytes_);
+  }
+  if (ok < count) return IoResult::fail(IoStatus::kDiskFailed, disk,
+                                        block + ok);
+  return IoResult::success();
+}
+
+IoResult DiskArray::write_blocks(int disk, std::int64_t block,
+                                 std::int64_t count,
+                                 std::span<const std::uint8_t> in) {
+  check_run(disk, block, count);
+  if (in.size() != static_cast<std::size_t>(count) * block_bytes_) {
+    throw std::invalid_argument("DiskArray::write_blocks: bad buffer size");
+  }
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.writes.fetch_add(static_cast<std::uint64_t>(count),
+                     std::memory_order_relaxed);
+  d.write_runs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
+                                            std::memory_order_relaxed);
+  const bool was_failed = d.failed.load();
+  const std::uint64_t fail_at = d.fail_after.load(std::memory_order_relaxed);
+  std::int64_t ok = count;
+  if (fail_at <= ord) {
+    ok = 0;
+  } else if (fail_at - ord < static_cast<std::uint64_t>(count)) {
+    ok = static_cast<std::int64_t>(fail_at - ord);
+  }
+  if (ok < count) d.failed.store(true);
+  if (was_failed) ok = 0;
+  const auto dst = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_,
+      static_cast<std::size_t>(count) * block_bytes_);
+  if (!injecting_) {
+    if (ok > 0) {
+      std::memcpy(dst.data(), in.data(),
+                  static_cast<std::size_t>(ok) * block_bytes_);
+    }
+    if (ok < count) return IoResult::fail(IoStatus::kDiskFailed, disk,
+                                          block + ok);
+    return IoResult::success();
+  }
+  for (std::int64_t k = 0; k < ok; ++k) {
+    auto* bdst = dst.data() + static_cast<std::size_t>(k) * block_bytes_;
+    const auto* bsrc = in.data() + static_cast<std::size_t>(k) * block_bytes_;
+    if (roll(torn_write_rate_)) {
+      std::memcpy(bdst, bsrc, block_bytes_ / 2);
+      return IoResult::fail(IoStatus::kTornWrite, disk, block + k);
+    }
+    std::memcpy(bdst, bsrc, block_bytes_);
+    clear_bad(disk, block + k);  // successful rewrite remaps
+  }
+  if (ok < count) return IoResult::fail(IoStatus::kDiskFailed, disk,
+                                        block + ok);
   return IoResult::success();
 }
 
@@ -187,6 +315,28 @@ std::uint64_t DiskArray::total_reads() const {
 std::uint64_t DiskArray::total_writes() const {
   std::uint64_t n = 0;
   for (int d = 0; d < disks(); ++d) n += writes(d);
+  return n;
+}
+
+std::uint64_t DiskArray::read_runs(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->read_runs.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t DiskArray::write_runs(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->write_runs.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t DiskArray::total_read_runs() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += read_runs(d);
+  return n;
+}
+
+std::uint64_t DiskArray::total_write_runs() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += write_runs(d);
   return n;
 }
 

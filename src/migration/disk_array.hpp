@@ -36,6 +36,13 @@ class DiskArray {
   std::span<std::uint8_t> raw_block(int disk, std::int64_t block);
   std::span<const std::uint8_t> raw_block(int disk, std::int64_t block) const;
 
+  /// Raw contiguous view over `count` consecutive blocks of one disk
+  /// (same backdoor semantics as raw_block).
+  std::span<std::uint8_t> raw_blocks(int disk, std::int64_t block,
+                                     std::int64_t count);
+  std::span<const std::uint8_t> raw_blocks(int disk, std::int64_t block,
+                                           std::int64_t count) const;
+
   /// Counted accesses. Bounds are checked (std::out_of_range names the
   /// offending coordinates); injected faults surface in the IoResult
   /// instead of silently succeeding. A read on a failed disk transfers
@@ -44,6 +51,19 @@ class DiskArray {
                       std::span<std::uint8_t> out);
   IoResult write_block(int disk, std::int64_t block,
                        std::span<const std::uint8_t> in);
+
+  /// Vectored counted access over `count` consecutive blocks of one
+  /// disk. Bounds are checked once for the whole run; the buffer must
+  /// hold exactly count * block_bytes(). The run counts `count`
+  /// per-block transfers in reads()/writes() but only one sequential
+  /// run in read_runs()/write_runs(). Fault injection keeps per-block
+  /// semantics: the first injected fault aborts the run at its block
+  /// (earlier blocks of the run are already transferred) and is
+  /// reported with that block's coordinates.
+  IoResult read_blocks(int disk, std::int64_t block, std::int64_t count,
+                       std::span<std::uint8_t> out);
+  IoResult write_blocks(int disk, std::int64_t block, std::int64_t count,
+                        std::span<const std::uint8_t> in);
 
   /// Install a fault plan (replaces any previous one and reseeds the
   /// injection RNG). Not safe against concurrent in-flight I/O.
@@ -60,6 +80,13 @@ class DiskArray {
   std::uint64_t writes(int disk) const;
   std::uint64_t total_reads() const;
   std::uint64_t total_writes() const;
+  /// Sequential-run accounting: a read_block/write_block counts one
+  /// run; a read_blocks/write_blocks batch counts one run regardless
+  /// of its length.
+  std::uint64_t read_runs(int disk) const;
+  std::uint64_t write_runs(int disk) const;
+  std::uint64_t total_read_runs() const;
+  std::uint64_t total_write_runs() const;
 
  private:
   static constexpr std::uint64_t kNeverFails = ~std::uint64_t{0};
@@ -68,12 +95,15 @@ class DiskArray {
     Buffer data;
     std::atomic<std::uint64_t> reads{0};
     std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> read_runs{0};
+    std::atomic<std::uint64_t> write_runs{0};
     std::atomic<std::uint64_t> ios{0};  // reads + writes, for fail_after
     std::atomic<std::uint64_t> fail_after{kNeverFails};
     std::atomic<bool> failed{false};
   };
 
   void check(int disk, std::int64_t block) const;  // throws out_of_range
+  void check_run(int disk, std::int64_t block, std::int64_t count) const;
   bool roll(double rate);  // one injection-RNG draw under fault_mu_
   bool is_bad(int disk, std::int64_t block) const;
   void clear_bad(int disk, std::int64_t block);

@@ -7,6 +7,7 @@
 
 #include "layout/raid.hpp"
 #include "util/prime.hpp"
+#include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
 namespace c56::mig {
@@ -293,8 +294,8 @@ IoResult OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
   // arena, then folded with a single accumulate pass.
   const int p = code_.p();
   const std::size_t bs = array_.block_bytes();
-  Buffer arena(bs * static_cast<std::size_t>(p - 2));
-  Buffer acc(bs);
+  PooledBuffer arena(bs * static_cast<std::size_t>(p - 2));
+  PooledBuffer acc(bs);
   std::vector<const std::uint8_t*> srcs;
   srcs.reserve(static_cast<std::size_t>(p - 2));
   for (int j = 0; j <= p - 2; ++j) {
@@ -322,8 +323,8 @@ IoResult OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
 int OnlineMigrator::first_stale_diag(std::int64_t group, int upto) {
   const int p = code_.p();
   const std::size_t bs = array_.block_bytes();
-  Buffer arena(bs * static_cast<std::size_t>(p - 2));
-  Buffer acc(bs);
+  PooledBuffer arena(bs * static_cast<std::size_t>(p - 2));
+  PooledBuffer acc(bs);
   std::vector<const std::uint8_t*> srcs;
   for (int i = 0; i < upto; ++i) {
     srcs.clear();
@@ -477,7 +478,7 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
   }
 
   const std::size_t bs = array_.block_bytes();
-  Buffer old_data(bs), delta(bs), par(bs);
+  PooledBuffer old_data(bs), delta(bs), par(bs);
   const IoResult oldr = read_source(l.disk, l.block, old_data.span(), false);
   if (!oldr.ok()) {
     // The pre-image is gone: the write (and the block) cannot be kept
@@ -619,26 +620,70 @@ std::int64_t OnlineMigrator::rebuild_failed_disks() {
 
   if (failed.size() == 1 && failed[0] < m_) {
     // Single source disk: every block is the XOR of its row mates.
+    // Rebuild in multi-block chunks — one sequential run per surviving
+    // disk per chunk plus one run for the rewrite, falling back to the
+    // retrying per-block chain only when a chunk hits an injected fault.
     const int d = failed[0];
     array_.repair_disk(d);
-    Buffer blk(bs);
-    std::vector<BlockAddr> srcs;
-    for (std::int64_t b = 0; b < array_.blocks_per_disk(); ++b) {
-      srcs.clear();
-      for (int o = 0; o < m_; ++o) {
-        if (o != d) srcs.push_back({o, b});
+    constexpr std::int64_t kChunk = 64;
+    const std::int64_t total = array_.blocks_per_disk();
+    const auto nsrc = static_cast<std::size_t>(m_ - 1);
+    PooledBuffer arena(static_cast<std::size_t>(kChunk) * bs * nsrc);
+    PooledBuffer out(static_cast<std::size_t>(kChunk) * bs);
+    std::vector<const std::uint8_t*> srcs(nsrc);
+    std::vector<BlockAddr> addrs;
+    for (std::int64_t b0 = 0; b0 < total; b0 += kChunk) {
+      const std::int64_t m = std::min(kChunk, total - b0);
+      bool batched = true;
+      std::size_t s = 0;
+      for (int o = 0; o < m_ && batched; ++o) {
+        if (o == d) continue;
+        batched = array_
+                      .read_blocks(o, b0, m,
+                                   arena.span().subspan(
+                                       s++ * static_cast<std::size_t>(kChunk) *
+                                           bs,
+                                       static_cast<std::size_t>(m) * bs))
+                      .ok();
       }
-      IoCounters c;
-      if (!xor_chain_read(array_, srcs, blk.span(), retry_, &c).ok() ||
-          !write_block_retry(array_, d, b, blk.span(), retry_, &c).ok()) {
-        throw std::runtime_error("rebuild_failed_disks: disk " +
-                                 std::to_string(d) + " not reconstructible");
+      if (batched) {
+        for (std::int64_t k = 0; k < m; ++k) {
+          for (std::size_t i = 0; i < nsrc; ++i) {
+            srcs[i] = arena.data() +
+                      (i * static_cast<std::size_t>(kChunk) +
+                       static_cast<std::size_t>(k)) *
+                          bs;
+          }
+          xor_accumulate(out.data() + static_cast<std::size_t>(k) * bs,
+                         reinterpret_cast<const void* const*>(srcs.data()),
+                         nsrc, bs);
+        }
+        batched = array_
+                      .write_blocks(d, b0, m,
+                                    out.span().subspan(
+                                        0, static_cast<std::size_t>(m) * bs))
+                      .ok();
       }
-      {
-        std::lock_guard sk(stats_mu_);
-        stats_.retries += c.retries;
+      if (!batched) {
+        for (std::int64_t b = b0; b < b0 + m; ++b) {
+          addrs.clear();
+          for (int o = 0; o < m_; ++o) {
+            if (o != d) addrs.push_back({o, b});
+          }
+          IoCounters c;
+          if (!xor_chain_read(array_, addrs, out.block(0, bs), retry_, &c)
+                   .ok() ||
+              !write_block_retry(array_, d, b, out.block(0, bs), retry_, &c)
+                   .ok()) {
+            throw std::runtime_error("rebuild_failed_disks: disk " +
+                                     std::to_string(d) +
+                                     " not reconstructible");
+          }
+          std::lock_guard sk(stats_mu_);
+          stats_.retries += c.retries;
+        }
       }
-      ++rebuilt;
+      rebuilt += m;
     }
     return rebuilt;
   }
@@ -661,12 +706,13 @@ std::int64_t OnlineMigrator::rebuild_failed_disks() {
   if (failed.size() == 2 && state_ == MigrationState::kDone) {
     // Double failure after conversion: Algorithm 1 over every group.
     for (int d : failed) array_.repair_disk(d);
-    Buffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
+    PooledBuffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
     for (std::int64_t g = 0; g < groups_; ++g) {
-      StripeView v = StripeView::over(stripe, p - 1, p, bs);
-      for (int r = 0; r <= p - 2; ++r) {
-        for (int c = 0; c <= p - 1; ++c) {
-          std::ranges::copy(array_.raw_block(c, g * (p - 1) + r),
+      StripeView v(stripe.span(), p - 1, p, bs);
+      for (int c = 0; c <= p - 1; ++c) {
+        const auto col = array_.raw_blocks(c, g * (p - 1), p - 1);
+        for (int r = 0; r <= p - 2; ++r) {
+          std::ranges::copy(col.subspan(static_cast<std::size_t>(r) * bs, bs),
                             v.block({r, c}).begin());
         }
       }
@@ -698,13 +744,14 @@ bool OnlineMigrator::verify_raid6() const {
   std::unique_lock ops(ops_mu_);  // a consistent snapshot of every group
   const int p = code_.p();
   const std::size_t bs = array_.block_bytes();
-  Buffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
+  PooledBuffer stripe(static_cast<std::size_t>(code_.cell_count()) * bs);
   for (std::int64_t g = 0; g < groups_; ++g) {
-    StripeView v = StripeView::over(stripe, p - 1, p, bs);
-    for (int r = 0; r <= p - 2; ++r) {
-      for (int c = 0; c <= p - 1; ++c) {
-        const auto src = array_.raw_block(c, g * (p - 1) + r);
-        std::ranges::copy(src, v.block({r, c}).begin());
+    StripeView v(stripe.span(), p - 1, p, bs);
+    for (int c = 0; c <= p - 1; ++c) {
+      const auto col = array_.raw_blocks(c, g * (p - 1), p - 1);
+      for (int r = 0; r <= p - 2; ++r) {
+        std::ranges::copy(col.subspan(static_cast<std::size_t>(r) * bs, bs),
+                          v.block({r, c}).begin());
       }
     }
     if (!code_.verify(v)) return false;

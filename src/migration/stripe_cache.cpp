@@ -1,0 +1,108 @@
+#include "migration/stripe_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace c56::mig {
+
+StripeCache::StripeCache(std::size_t capacity_stripes, int cells_per_stripe,
+                         std::size_t block_bytes, int shards)
+    : capacity_(capacity_stripes),
+      cells_per_stripe_(cells_per_stripe),
+      block_bytes_(block_bytes) {
+  if (capacity_stripes == 0 || cells_per_stripe <= 0 || block_bytes == 0 ||
+      shards <= 0) {
+    throw std::invalid_argument("StripeCache: invalid geometry");
+  }
+  // No more shards than stripes, so every shard can hold at least one.
+  const auto n = std::min<std::size_t>(static_cast<std::size_t>(shards),
+                                       capacity_stripes);
+  shards_ = std::vector<Shard>(n);
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity_ / n);
+}
+
+bool StripeCache::lookup(std::int64_t stripe, int cell,
+                         std::span<std::uint8_t> out) {
+  Shard& s = shard_of(stripe);
+  std::lock_guard lk(s.mu);
+  const auto it = s.index.find(stripe);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return false;
+  }
+  Entry& e = *it->second;
+  const auto word = static_cast<std::size_t>(cell) / 64;
+  const std::uint64_t bit = 1ull << (static_cast<std::size_t>(cell) % 64);
+  if (!(e.valid[word] & bit)) {
+    ++s.stats.misses;
+    return false;
+  }
+  std::memcpy(out.data(),
+              e.blocks.block(static_cast<std::size_t>(cell), block_bytes_)
+                  .data(),
+              block_bytes_);
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.stats.hits;
+  return true;
+}
+
+void StripeCache::fill(std::int64_t stripe, int cell,
+                       std::span<const std::uint8_t> in) {
+  Shard& s = shard_of(stripe);
+  std::lock_guard lk(s.mu);
+  auto it = s.index.find(stripe);
+  if (it == s.index.end()) {
+    if (s.lru.size() >= per_shard_capacity_) {
+      s.index.erase(s.lru.back().stripe);
+      s.lru.pop_back();
+      ++s.stats.evictions;
+    }
+    s.lru.push_front(Entry{
+        stripe,
+        Buffer(static_cast<std::size_t>(cells_per_stripe_) * block_bytes_),
+        std::vector<std::uint64_t>(
+            (static_cast<std::size_t>(cells_per_stripe_) + 63) / 64, 0)});
+    it = s.index.emplace(stripe, s.lru.begin()).first;
+    ++s.stats.insertions;
+  } else {
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  }
+  Entry& e = *it->second;
+  std::memcpy(
+      e.blocks.block(static_cast<std::size_t>(cell), block_bytes_).data(),
+      in.data(), block_bytes_);
+  e.valid[static_cast<std::size_t>(cell) / 64] |=
+      1ull << (static_cast<std::size_t>(cell) % 64);
+}
+
+void StripeCache::invalidate(std::int64_t stripe) {
+  Shard& s = shard_of(stripe);
+  std::lock_guard lk(s.mu);
+  const auto it = s.index.find(stripe);
+  if (it == s.index.end()) return;
+  s.lru.erase(it->second);
+  s.index.erase(it);
+}
+
+void StripeCache::invalidate_all() {
+  for (Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    s.lru.clear();
+    s.index.clear();
+  }
+}
+
+StripeCache::Stats StripeCache::stats() const {
+  Stats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard lk(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.insertions += s.stats.insertions;
+    total.evictions += s.stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace c56::mig

@@ -1,0 +1,85 @@
+#pragma once
+// Sharded write-through LRU cache of stripe block contents, keyed by
+// (stripe, flat cell index). An entry owns one stripe's worth of block
+// storage plus a validity bitmap, so the cache can hold partially
+// populated stripes (each block becomes valid when it is first read or
+// written through the owning controller). The cache never goes to disk
+// itself: the ArrayController performs the I/O and calls fill() after
+// every successful read or write (write-through), so a hit is always
+// the block's current logical value as long as every mutation of the
+// array flows through that controller. Anything else touching the
+// array — a disk failure, a rebuild, an online-migration hand-off —
+// must invalidate (the controller does this on fail_disk/rebuild_disk
+// and exposes invalidate_cache() for external writers).
+//
+// Thread safety: shards are independently mutex-guarded, so concurrent
+// lookup/fill/invalidate from any number of threads is safe. Stripes
+// map to shards by index, spreading a sequential scan across locks.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "xorblk/buffer.hpp"
+
+namespace c56::mig {
+
+class StripeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;  // entries created
+    std::uint64_t evictions = 0;   // entries pushed out by capacity
+  };
+
+  /// Cache of at most `capacity_stripes` stripes of `cells_per_stripe`
+  /// blocks of `block_bytes` each, spread over `shards` locks.
+  StripeCache(std::size_t capacity_stripes, int cells_per_stripe,
+              std::size_t block_bytes, int shards = 8);
+
+  std::size_t capacity_stripes() const { return capacity_; }
+
+  /// Copy the cached value of (stripe, cell) into `out` and refresh
+  /// its LRU position. False (and no copy) when the block is absent.
+  bool lookup(std::int64_t stripe, int cell, std::span<std::uint8_t> out);
+
+  /// Install the block's current value (insert-or-update + LRU touch),
+  /// evicting the least recently used stripe of the shard when full.
+  void fill(std::int64_t stripe, int cell, std::span<const std::uint8_t> in);
+
+  /// Drop one stripe / everything.
+  void invalidate(std::int64_t stripe);
+  void invalidate_all();
+
+  /// Aggregated over all shards.
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::int64_t stripe;
+    Buffer blocks;                     // cells_per_stripe * block_bytes
+    std::vector<std::uint64_t> valid;  // bitmap over cell indices
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::int64_t, std::list<Entry>::iterator> index;
+    Stats stats;
+  };
+
+  Shard& shard_of(std::int64_t stripe) {
+    return shards_[static_cast<std::size_t>(stripe) % shards_.size()];
+  }
+
+  std::size_t capacity_;            // total stripes
+  std::size_t per_shard_capacity_;  // stripes per shard
+  int cells_per_stripe_;
+  std::size_t block_bytes_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace c56::mig

@@ -1,0 +1,39 @@
+#include "xorblk/pool.hpp"
+
+namespace c56 {
+
+BufferPool& BufferPool::local() noexcept {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+Buffer BufferPool::acquire(std::size_t size) {
+  for (Bucket& b : buckets_) {
+    if (b.size == size && !b.free.empty()) {
+      Buffer out = std::move(b.free.back());
+      b.free.pop_back();
+      pooled_bytes_ -= size;
+      ++hits_;
+      return out;
+    }
+  }
+  ++misses_;
+  return Buffer(size);
+}
+
+void BufferPool::release(Buffer&& b) noexcept {
+  const std::size_t size = b.size();
+  if (size == 0 || pooled_bytes_ + size > kMaxPooledBytes) return;
+  for (Bucket& bucket : buckets_) {
+    if (bucket.size == size) {
+      bucket.free.push_back(std::move(b));
+      pooled_bytes_ += size;
+      return;
+    }
+  }
+  buckets_.push_back({size, {}});
+  buckets_.back().free.push_back(std::move(b));
+  pooled_bytes_ += size;
+}
+
+}  // namespace c56

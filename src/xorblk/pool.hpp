@@ -1,0 +1,79 @@
+#pragma once
+// Thread-local free list of Buffers so steady-state hot loops (parity
+// read-modify-write, reconstruct-on-read chains, stripe staging) do
+// zero heap allocations. acquire() hands back a previously released
+// Buffer of the exact size when one is pooled, else allocates; the
+// contents of an acquired buffer are unspecified — call zero() if the
+// caller needs cleared memory. Each thread owns its own pool, so no
+// locking is involved and release() must happen on the acquiring
+// thread (which the RAII PooledBuffer guarantees).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "xorblk/buffer.hpp"
+
+namespace c56 {
+
+class BufferPool {
+ public:
+  /// The calling thread's pool.
+  static BufferPool& local() noexcept;
+
+  /// A buffer of exactly `size` bytes, reused from the pool when
+  /// possible. Contents are unspecified.
+  Buffer acquire(std::size_t size);
+
+  /// Return a buffer to the pool (dropped once the pool holds
+  /// kMaxPooledBytes, so a burst of large stripes cannot pin memory).
+  void release(Buffer&& b) noexcept;
+
+  std::size_t pooled_bytes() const noexcept { return pooled_bytes_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxPooledBytes = 64u << 20;
+
+  // One bucket per distinct size; a process uses a handful of block /
+  // stripe sizes, so linear scan beats any map.
+  struct Bucket {
+    std::size_t size = 0;
+    std::vector<Buffer> free;
+  };
+  std::vector<Bucket> buckets_;
+  std::size_t pooled_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// RAII lease on a pooled buffer: acquires from the calling thread's
+/// pool, releases back on destruction (same thread by construction).
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(std::size_t size)
+      : buf_(BufferPool::local().acquire(size)) {}
+  ~PooledBuffer() { BufferPool::local().release(std::move(buf_)); }
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  std::uint8_t* data() noexcept { return buf_.data(); }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+  std::span<std::uint8_t> span() noexcept { return buf_.span(); }
+  std::span<const std::uint8_t> span() const noexcept { return buf_.span(); }
+  std::span<std::uint8_t> block(std::size_t i, std::size_t bs) noexcept {
+    return buf_.block(i, bs);
+  }
+  void zero() noexcept { buf_.zero(); }
+  Buffer& buffer() noexcept { return buf_; }
+
+ private:
+  Buffer buf_;
+};
+
+}  // namespace c56

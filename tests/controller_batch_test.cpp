@@ -1,0 +1,313 @@
+// Lockdown of the batched stripe-aware controller I/O path against the
+// per-block reference: the ranged read/write planner (full-stripe
+// encode fast path, coalesced partial-stripe deltas, per-column run
+// batching) must leave byte-identical array contents for every
+// geometry, failure state and cache setting, and the full-stripe fast
+// path must issue zero pre-reads. Also pins the vectored DiskArray
+// primitives the planner is built on, including their per-block fault
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "codes/registry.hpp"
+#include "migration/controller.hpp"
+#include "migration/fault.hpp"
+#include "util/rng.hpp"
+
+namespace c56::mig {
+namespace {
+
+constexpr std::size_t kBlock = 64;
+constexpr std::int64_t kStripes = 6;
+
+struct Param {
+  CodeId id;
+  int p;
+  int failures;    // 0, 1 or 2 disks failed on both sides
+  bool cache;      // stripe cache enabled on the batched side
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string n = to_string(info.param.id);
+  for (char& c : n) {
+    if (c == ' ' || c == '-') c = '_';
+  }
+  return n + "_p" + std::to_string(info.param.p) + "_f" +
+         std::to_string(info.param.failures) +
+         (info.param.cache ? "_cached" : "_nocache");
+}
+
+/// Two controllers over two arrays with identical contents: `batched_`
+/// takes ranged ops, `ref_` replays them block by block.
+class BatchDifferentialTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const Param& prm = GetParam();
+    auto code_a = make_code(prm.id, prm.p);
+    auto code_b = make_code(prm.id, prm.p);
+    const int disks = code_a->cols();
+    const std::int64_t bpd = kStripes * code_a->rows();
+    batched_array_ = std::make_unique<DiskArray>(disks, bpd, kBlock);
+    ref_array_ = std::make_unique<DiskArray>(disks, bpd, kBlock);
+    batched_ = std::make_unique<ArrayController>(*batched_array_,
+                                                 std::move(code_a));
+    ref_ = std::make_unique<ArrayController>(*ref_array_, std::move(code_b));
+    if (prm.cache) batched_->set_cache_stripes(3);  // smaller than kStripes
+    Rng rng(0xBA7C4ED);
+    Buffer buf(kBlock);
+    for (std::int64_t l = 0; l < batched_->logical_blocks(); ++l) {
+      rng.fill(buf.data(), kBlock);
+      batched_->write(l, buf.span());
+      ref_->write(l, buf.span());
+    }
+    if (prm.failures >= 1) {
+      batched_->fail_disk(1);
+      ref_->fail_disk(1);
+    }
+    if (prm.failures >= 2) {
+      batched_->fail_disk(3);
+      ref_->fail_disk(3);
+    }
+  }
+
+  void expect_arrays_identical() {
+    for (int d = 0; d < batched_array_->disks(); ++d) {
+      const auto a = batched_array_->raw_blocks(
+          d, 0, batched_array_->blocks_per_disk());
+      const auto b =
+          ref_array_->raw_blocks(d, 0, ref_array_->blocks_per_disk());
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+          << "disk " << d << " diverged";
+    }
+  }
+
+  std::unique_ptr<DiskArray> batched_array_, ref_array_;
+  std::unique_ptr<ArrayController> batched_, ref_;
+};
+
+TEST_P(BatchDifferentialTest, MixedRangedWorkloadStaysByteIdentical) {
+  Rng rng(0x5EED + GetParam().p);
+  const std::int64_t total = batched_->logical_blocks();
+  const auto per_stripe =
+      total / kStripes;  // data cells per stripe, for range shaping
+  Buffer data(static_cast<std::size_t>(total) * kBlock);
+  Buffer got_b(static_cast<std::size_t>(total) * kBlock);
+  Buffer got_r(kBlock);
+  for (int op = 0; op < 200; ++op) {
+    // Mix of spans: single blocks, sub-stripe runs, exact stripes and
+    // multi-stripe sweeps (the interesting planner boundaries).
+    std::int64_t count;
+    switch (rng.next_below(4)) {
+      case 0:
+        count = 1;
+        break;
+      case 1:
+        count = 1 + static_cast<std::int64_t>(rng.next_below(
+                        static_cast<std::uint64_t>(per_stripe)));
+        break;
+      case 2:
+        count = per_stripe;
+        break;
+      default:
+        count = per_stripe + 1 +
+                static_cast<std::int64_t>(rng.next_below(
+                    static_cast<std::uint64_t>(2 * per_stripe)));
+        break;
+    }
+    count = std::min(count, total);
+    const auto logical = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(total - count + 1)));
+    const auto bytes = static_cast<std::size_t>(count) * kBlock;
+    if (rng.next_below(3) == 0) {  // ranged read, checked per block
+      batched_->read(logical, count, data.span().subspan(0, bytes));
+      for (std::int64_t k = 0; k < count; ++k) {
+        ref_->read(logical + k, got_r.span());
+        ASSERT_TRUE(std::equal(got_r.span().begin(), got_r.span().end(),
+                               data.data() + k * kBlock))
+            << "read diverged at logical " << logical + k;
+      }
+    } else {
+      rng.fill(data.data(), bytes);
+      batched_->write(logical, count, data.span().subspan(0, bytes));
+      for (std::int64_t k = 0; k < count; ++k) {
+        ref_->write(logical + k, data.span().subspan(
+                                     static_cast<std::size_t>(k) * kBlock,
+                                     kBlock));
+      }
+    }
+  }
+  expect_arrays_identical();
+  if (GetParam().failures == 0) {
+    EXPECT_TRUE(batched_->scrub().empty());
+    EXPECT_TRUE(ref_->scrub().empty());
+  }
+  // A final full-device ranged read must agree with the reference too
+  // (exercises degraded reconstruction through the batched path).
+  batched_->read(0, total, got_b.span());
+  for (std::int64_t l = 0; l < total; ++l) {
+    ref_->read(l, got_r.span());
+    ASSERT_TRUE(std::equal(got_r.span().begin(), got_r.span().end(),
+                           got_b.data() + l * kBlock))
+        << "final read diverged at logical " << l;
+  }
+}
+
+std::vector<Param> all_params() {
+  std::vector<Param> out;
+  for (int p : {5, 7, 11}) {
+    for (int f : {0, 1, 2}) {
+      for (bool cache : {false, true}) {
+        out.push_back({CodeId::kCode56, p, f, cache});
+      }
+    }
+  }
+  // Two structurally different codes keep the planner honest about
+  // parity placement (X-Code's parities live in rows, not columns).
+  out.push_back({CodeId::kRdp, 5, 1, false});
+  out.push_back({CodeId::kXCode, 5, 1, true});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, BatchDifferentialTest,
+                         ::testing::ValuesIn(all_params()), param_name);
+
+/// The full-stripe fast path regenerates parity with encode() — by
+/// construction it must not read anything, and each touched column must
+/// be written as one sequential run.
+TEST(BatchPlanner, FullStripeWriteIssuesNoReads) {
+  for (int p : {5, 7}) {
+    auto code = make_code(CodeId::kCode56, p);
+    const int disks = code->cols();
+    const int rows = code->rows();
+    DiskArray array(disks, 4LL * rows, kBlock);
+    ArrayController ctrl(array, std::move(code));
+    const std::int64_t per_stripe = ctrl.logical_blocks() / 4;
+    Buffer data(static_cast<std::size_t>(per_stripe) * kBlock);
+    Rng rng(p);
+    rng.fill(data.data(), data.size());
+
+    const std::uint64_t r0 = array.total_reads();
+    const std::uint64_t w0 = array.total_write_runs();
+    ctrl.write(per_stripe, per_stripe, data.span());  // stripe #1 exactly
+    EXPECT_EQ(array.total_reads(), r0) << "p=" << p;
+    // One sequential run per physical column.
+    EXPECT_EQ(array.total_write_runs() - w0, static_cast<std::uint64_t>(disks))
+        << "p=" << p;
+    EXPECT_TRUE(ctrl.scrub().empty()) << "p=" << p;
+
+    // A partial stripe, by contrast, must pre-read something.
+    const std::uint64_t r1 = array.total_reads();
+    ctrl.write(0, per_stripe - 1, data.span().subspan(0, (per_stripe - 1) *
+                                                             kBlock));
+    EXPECT_GT(array.total_reads(), r1) << "p=" << p;
+    EXPECT_TRUE(ctrl.scrub().empty()) << "p=" << p;
+  }
+}
+
+/// A full-row ranged write covers every input of the row's horizontal
+/// parity, so that parity is computed directly — the only pre-reads are
+/// for the diagonal parities' missing inputs, never the parity blocks
+/// of fully covered chains.
+TEST(BatchPlanner, FullRowWriteSkipsCoveredParityPreread) {
+  auto code = make_code(CodeId::kCode56, 5);
+  const int rows = code->rows();
+  DiskArray array(code->cols(), 2LL * rows, kBlock);
+  ArrayController ctrl(array, std::move(code));
+  const std::int64_t per_stripe = ctrl.logical_blocks() / 2;
+  const std::int64_t per_row = per_stripe / rows;
+  Buffer data(static_cast<std::size_t>(per_stripe) * kBlock);
+  Rng rng(11);
+  rng.fill(data.data(), data.size());
+  ctrl.write(0, per_stripe, data.span());  // known-consistent stripe 0
+
+  // Row 0 of stripe 0: logical [0, per_row). Its horizontal parity is
+  // fully covered; a per-block replay would pre-read it once per block.
+  DiskArray ref_array(array.disks(), array.blocks_per_disk(), kBlock);
+  auto ref_code = make_code(CodeId::kCode56, 5);
+  ArrayController ref(ref_array, std::move(ref_code));
+  ref.write(0, per_stripe, data.span());
+
+  rng.fill(data.data(), static_cast<std::size_t>(per_row) * kBlock);
+  const std::uint64_t r0 = array.total_reads();
+  const std::uint64_t rr0 = ref_array.total_reads();
+  ctrl.write(0, per_row, data.span().subspan(0, per_row * kBlock));
+  for (std::int64_t l = 0; l < per_row; ++l) {
+    ref.write(l, data.span().subspan(static_cast<std::size_t>(l) * kBlock,
+                                     kBlock));
+  }
+  EXPECT_LT(array.total_reads() - r0, ref_array.total_reads() - rr0);
+  EXPECT_TRUE(ctrl.scrub().empty());
+  for (int d = 0; d < array.disks(); ++d) {
+    const auto a = array.raw_blocks(d, 0, array.blocks_per_disk());
+    const auto b = ref_array.raw_blocks(d, 0, ref_array.blocks_per_disk());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "disk " << d;
+  }
+}
+
+/// Vectored DiskArray primitives: counter semantics and per-block fault
+/// behaviour of read_blocks/write_blocks.
+TEST(VectoredIo, CountsBlocksButOneRun) {
+  DiskArray a(2, 16, kBlock);
+  Buffer buf(8 * kBlock);
+  EXPECT_TRUE(a.write_blocks(0, 2, 8, buf.span()).ok());
+  EXPECT_EQ(a.writes(0), 8u);
+  EXPECT_EQ(a.write_runs(0), 1u);
+  EXPECT_TRUE(a.read_blocks(0, 2, 8, buf.span()).ok());
+  EXPECT_EQ(a.reads(0), 8u);
+  EXPECT_EQ(a.read_runs(0), 1u);
+  // Single-block ops count one run each.
+  Buffer one(kBlock);
+  a.read_block(0, 0, one.span());
+  EXPECT_EQ(a.read_runs(0), 2u);
+  EXPECT_EQ(a.total_read_runs(), 2u);
+  // Bounds are rejected before any transfer.
+  EXPECT_THROW(a.read_blocks(0, 12, 8, buf.span()), std::out_of_range);
+  EXPECT_THROW(a.read_blocks(0, 0, 0, buf.span().subspan(0, 0)),
+               std::out_of_range);
+  EXPECT_THROW(a.read_blocks(0, 0, 4, buf.span()), std::invalid_argument);
+}
+
+TEST(VectoredIo, BadBlockAbortsRunAtItsCoordinates) {
+  DiskArray a(1, 16, kBlock);
+  FaultPlan plan;
+  plan.bad_blocks.push_back({0, 5});
+  a.set_fault_plan(plan);
+  Buffer buf(8 * kBlock);
+  const IoResult r = a.read_blocks(0, 2, 8, buf.span());
+  EXPECT_EQ(r.status, IoStatus::kSectorError);
+  EXPECT_EQ(r.disk, 0);
+  EXPECT_EQ(r.block, 5);
+  EXPECT_EQ(a.reads(0), 8u);  // the run is still charged in full
+}
+
+TEST(VectoredIo, FailAfterCrossesMidRun) {
+  DiskArray a(1, 16, kBlock);
+  FaultPlan plan;
+  plan.disk_failures.push_back({0, 4});  // fails after 4 counted I/Os
+  a.set_fault_plan(plan);
+  Buffer buf(8 * kBlock);
+  Rng rng(1);
+  rng.fill(buf.data(), buf.size());
+  const IoResult r = a.write_blocks(0, 0, 8, buf.span());
+  EXPECT_EQ(r.status, IoStatus::kDiskFailed);
+  EXPECT_EQ(r.block, 4);  // first block past the threshold
+  EXPECT_TRUE(a.disk_failed(0));
+  // The four blocks before the crossing were persisted.
+  for (std::int64_t b = 0; b < 4; ++b) {
+    const auto want = buf.block(static_cast<std::size_t>(b), kBlock);
+    const auto got = a.raw_block(0, b);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin())) << b;
+  }
+  // An already-failed disk transfers nothing, even mid-run.
+  const IoResult r2 = a.read_blocks(0, 0, 8, buf.span());
+  EXPECT_EQ(r2.status, IoStatus::kDiskFailed);
+  EXPECT_EQ(r2.block, 0);
+}
+
+}  // namespace
+}  // namespace c56::mig

@@ -106,6 +106,24 @@ TEST_P(ControllerTest, DoubleFailureRebuildRestoresConsistency) {
   expect_all_readable();
 }
 
+TEST_P(ControllerTest, RecipesRefreshAcrossFailRebuildFailCycle) {
+  // Regression: the recovery recipes are lazily solved for the current
+  // failure set and must be re-solved after *every* change to it —
+  // rebuild_disk included. A controller that kept the disk-1 recipes
+  // across the rebuild would XOR the wrong chains here and serve
+  // garbage for disk 2 (or crash on a recipe whose target no longer
+  // matches the failure set).
+  ctrl_->fail_disk(1);
+  expect_all_readable();  // solves recipes for {1}
+  ctrl_->rebuild_disk(1);
+  EXPECT_TRUE(ctrl_->scrub().empty());
+  ctrl_->fail_disk(2);    // different disk: recipes for {1} are useless
+  expect_all_readable();
+  ctrl_->rebuild_disk(2);
+  EXPECT_TRUE(ctrl_->scrub().empty());
+  expect_all_readable();
+}
+
 TEST_P(ControllerTest, ScrubFlagsInjectedCorruption) {
   // Flip a byte behind the controller's back.
   auto blk = array_->raw_block(0, 0);
