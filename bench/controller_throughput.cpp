@@ -18,9 +18,16 @@
 //
 // The acceptance gate is the sequential full-stripe write, healthy,
 // cache off: the batched path must not be slower in memory AND must be
-// >= 3x on the device model. The process exits non-zero otherwise —
-// CI runs this with --smoke as a perf regression tripwire.
+// >= 3x on the device model. A second gate prices the observability
+// layer: the same workload with a metrics registry attached but
+// metrics disabled (the shipped default) must stay within 2% of a
+// detached controller — the disabled registry is supposed to cost one
+// predictable branch. The process exits non-zero if either gate fails
+// — CI runs this with --smoke as a perf regression tripwire. The
+// report embeds a registry snapshot of the attached controller under
+// "metrics_snapshot".
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +38,7 @@
 #include "codes/registry.hpp"
 #include "migration/controller.hpp"
 #include "migration/disk_array.hpp"
+#include "obs/metrics.hpp"
 #include "sim/disk_model.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -181,6 +189,72 @@ class Bench {
   double min_seconds_;
 };
 
+/// Metrics-overhead gate: best-of-N alternating trials of the
+/// sequential full-stripe batched write against two identical
+/// controllers — one plain, one with a registry attached and metrics
+/// left disabled (the shipped default, one branch on the hot path).
+/// Also snapshots the attached registry after one *enabled* pass so
+/// the embedded report carries real values.
+struct OverheadReport {
+  double detached_mbps = 0;
+  double disabled_mbps = 0;
+  double ratio = 0;  // disabled / detached throughput
+  std::string snapshot_json;
+};
+
+OverheadReport measure_metrics_overhead(std::int64_t stripes, int trials,
+                                        int passes_per_trial) {
+  auto code_plain = c56::make_code(c56::CodeId::kCode56, kP);
+  auto code_obs = c56::make_code(c56::CodeId::kCode56, kP);
+  const int disks = code_plain->cols();
+  const std::int64_t bpd = stripes * code_plain->rows();
+  c56::obs::Registry reg;  // declared first: must outlive the attached side
+  c56::mig::DiskArray array_plain(disks, bpd, kBlock);
+  c56::mig::ArrayController plain(array_plain, std::move(code_plain));
+  c56::mig::DiskArray array_obs(disks, bpd, kBlock);
+  c56::mig::ArrayController attached(array_obs, std::move(code_obs));
+  attached.attach_metrics(reg);
+  array_obs.attach_metrics(reg);
+  c56::obs::set_metrics_enabled(false);
+
+  const std::int64_t logical = plain.logical_blocks();
+  const std::size_t bytes = static_cast<std::size_t>(logical) * kBlock;
+  c56::Buffer pay_a(bytes), pay_b(bytes);
+  c56::Rng rng(0xC56'0BE5);
+  rng.fill(pay_a.data(), bytes);
+  rng.fill(pay_b.data(), bytes);
+
+  auto time_side = [&](c56::mig::ArrayController& c) {
+    const auto t0 = Clock::now();
+    for (int p = 0; p < passes_per_trial; ++p) {
+      c.write(0, logical, {(p & 1) ? pay_b.data() : pay_a.data(), bytes});
+    }
+    return seconds_since(t0);
+  };
+  time_side(plain);  // warm both sides up
+  time_side(attached);
+  double best_plain = 1e300, best_attached = 1e300;
+  for (int t = 0; t < trials; ++t) {  // alternate so noise lands evenly
+    best_plain = std::min(best_plain, time_side(plain));
+    best_attached = std::min(best_attached, time_side(attached));
+  }
+  OverheadReport r;
+  const auto total = static_cast<double>(bytes) * passes_per_trial;
+  r.detached_mbps = total / best_plain / 1e6;
+  r.disabled_mbps = total / best_attached / 1e6;
+  r.ratio = best_plain / best_attached;
+
+  // One enabled pass so the embedded snapshot is non-trivial.
+  c56::obs::set_metrics_enabled(true);
+  attached.write(0, logical, {pay_a.data(), bytes});
+  c56::obs::set_metrics_enabled(false);
+  r.snapshot_json = reg.to_json();
+  while (!r.snapshot_json.empty() && r.snapshot_json.back() == '\n') {
+    r.snapshot_json.pop_back();
+  }
+  return r;
+}
+
 std::string flags(const Config& c) {
   std::string s = c.degraded ? "degraded" : "healthy";
   s += c.cached ? "+cache" : "";
@@ -296,6 +370,11 @@ int main(int argc, char** argv) {
   const double dev_speedup =
       gate_pb.device_mbps > 0 ? gate_ba.device_mbps / gate_pb.device_mbps : 0;
   const bool pass = gate_ba.mbps > gate_pb.mbps && dev_speedup >= 3.0;
+
+  const OverheadReport ov =
+      measure_metrics_overhead(stripes, smoke ? 5 : 9, smoke ? 4 : 8);
+  const bool ov_pass = ov.ratio >= 0.98;
+
   json << "  ],\n  \"gate\": {\"workload\": \"seq full-stripe write, "
           "healthy, cache off\", \"per_block_mbps\": "
        << gate_pb.mbps << ", \"batched_mbps\": " << gate_ba.mbps
@@ -305,18 +384,31 @@ int main(int argc, char** argv) {
        << ", \"device_speedup\": " << dev_speedup
        << ", \"criteria\": \"batched >= per-block in memory and >= 3x on "
           "the device model\", \"pass\": "
-       << (pass ? "true" : "false") << "}\n}\n";
+       << (pass ? "true" : "false") << "},\n"
+       << "  \"metrics_overhead\": {\"workload\": \"seq full-stripe "
+          "batched write\", \"detached_mbps\": "
+       << ov.detached_mbps << ", \"disabled_mbps\": " << ov.disabled_mbps
+       << ", \"ratio\": " << ov.ratio
+       << ", \"criteria\": \"registry attached + metrics disabled >= 0.98x "
+          "detached\", \"pass\": "
+       << (ov_pass ? "true" : "false") << "},\n"
+       << "  \"metrics_snapshot\": " << ov.snapshot_json << "\n}\n";
 
   std::printf(
       "\nsequential full-stripe write: in-memory %.1f -> %.1f MB/s "
       "(%.2fx), device model %.1f -> %.1f MB/s (%.2fx) -> %s\n",
       gate_pb.mbps, gate_ba.mbps, mem_speedup, gate_pb.device_mbps,
       gate_ba.device_mbps, dev_speedup, pass ? "PASS" : "FAIL");
+  std::printf(
+      "metrics overhead (disabled registry): %.1f -> %.1f MB/s "
+      "(%.3fx, need >= 0.98) -> %s\n",
+      ov.detached_mbps, ov.disabled_mbps, ov.ratio,
+      ov_pass ? "PASS" : "FAIL");
 
   if (FILE* f = std::fopen("BENCH_controller.json", "w")) {
     std::fputs(json.str().c_str(), f);
     std::fclose(f);
     std::printf("wrote BENCH_controller.json\n");
   }
-  return pass ? 0 : 1;
+  return pass && ov_pass ? 0 : 1;
 }

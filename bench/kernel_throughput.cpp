@@ -23,10 +23,12 @@
 #include "layout/raid.hpp"
 #include "migration/disk_array.hpp"
 #include "migration/online.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "xorblk/buffer.hpp"
 #include "xorblk/kernel.hpp"
+#include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
 namespace {
@@ -216,7 +218,20 @@ int main() {
        << (identical ? "true" : "false") << ", \"note\": \""
        << (hw <= 1 ? "single hardware thread: parity is expected"
                    : "4-way worker pool vs sequential converter")
-       << "\"}\n}\n";
+       << "\"},\n";
+
+  // Embed a registry snapshot of the 4-worker conversion array's I/O
+  // accounting (always-on counters, so the timed runs above paid no
+  // metric cost) plus the buffer-pool aggregates.
+  {
+    c56::obs::Registry reg;
+    const c56::obs::CollectorHandle pool_handle = c56::attach_pool_metrics(reg);
+    a4.attach_metrics(reg, "conv_array");
+    std::string snap = reg.to_json();
+    while (!snap.empty() && snap.back() == '\n') snap.pop_back();
+    json << "  \"metrics_snapshot\": " << snap << "\n}\n";
+    a4.detach_metrics();  // the block-scoped registry dies before a4
+  }
 
   if (FILE* f = std::fopen("BENCH_kernels.json", "w")) {
     std::fputs(json.str().c_str(), f);

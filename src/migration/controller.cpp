@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "migration/degraded.hpp"
+#include "util/env.hpp"
 #include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
@@ -21,6 +23,13 @@ namespace {
                            to_string(r.status) + ") at disk " +
                            std::to_string(r.disk) + " block " +
                            std::to_string(r.block));
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 }  // namespace
@@ -91,12 +100,11 @@ ArrayController::ArrayController(DiskArray& array,
     parities_offset_.push_back(static_cast<int>(parities_cells_.size()));
   }
 
-  if (const char* env = std::getenv("C56_CACHE_STRIPES")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      set_cache_stripes(static_cast<std::size_t>(v));
-    }
+  // Checked knob parsing: garbage keeps the default (off), negative or
+  // absurd sizes clamp instead of wrapping through strtoull. The cap is
+  // a sanity bound on cache stripes, not a recommendation.
+  if (const auto v = util::env_int("C56_CACHE_STRIPES", 0, 1 << 22)) {
+    if (*v > 0) set_cache_stripes(static_cast<std::size_t>(*v));
   }
 }
 
@@ -229,12 +237,20 @@ void ArrayController::write(std::int64_t logical,
 void ArrayController::read(std::int64_t logical, std::int64_t count,
                            std::span<std::uint8_t> out) {
   const std::size_t bs = array_.block_bytes();
-  if (count <= 0 || logical < 0 || logical + count > logical_blocks()) {
+  // Overflow-safe range check: `logical + count` can wrap for huge
+  // counts, so compare count against the remaining span instead. A
+  // range ending exactly at logical_blocks() is valid.
+  if (count < 0 || logical < 0 || logical > logical_blocks() ||
+      count > logical_blocks() - logical) {
     throw std::out_of_range("ArrayController::read: bad logical range");
   }
   if (out.size() != static_cast<std::size_t>(count) * bs) {
     throw std::invalid_argument("ArrayController::read: bad buffer size");
   }
+  if (count == 0) return;  // validated no-op, planner never invoked
+  const bool obs_on = obs::metrics_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (obs_on) t0 = std::chrono::steady_clock::now();
   const auto per = static_cast<std::int64_t>(data_cells_.size());
   std::int64_t done = 0;
   while (done < count) {
@@ -247,17 +263,27 @@ void ArrayController::read(std::int64_t logical, std::int64_t count,
                          static_cast<std::size_t>(n) * bs));
     done += n;
   }
+  if (obs_on) {
+    ranged_reads_.inc();
+    read_latency_us_.observe(elapsed_us(t0));
+  }
 }
 
 void ArrayController::write(std::int64_t logical, std::int64_t count,
                             std::span<const std::uint8_t> in) {
   const std::size_t bs = array_.block_bytes();
-  if (count <= 0 || logical < 0 || logical + count > logical_blocks()) {
+  // Same overflow-safe range semantics as ranged read (see above).
+  if (count < 0 || logical < 0 || logical > logical_blocks() ||
+      count > logical_blocks() - logical) {
     throw std::out_of_range("ArrayController::write: bad logical range");
   }
   if (in.size() != static_cast<std::size_t>(count) * bs) {
     throw std::invalid_argument("ArrayController::write: bad buffer size");
   }
+  if (count == 0) return;  // validated no-op, planner never invoked
+  const bool obs_on = obs::metrics_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (obs_on) t0 = std::chrono::steady_clock::now();
   const auto per = static_cast<std::int64_t>(data_cells_.size());
   std::int64_t done = 0;
   while (done < count) {
@@ -268,11 +294,17 @@ void ArrayController::write(std::int64_t logical, std::int64_t count,
     const auto chunk = in.subspan(static_cast<std::size_t>(done) * bs,
                                   static_cast<std::size_t>(n) * bs);
     if (i0 == 0 && n == per) {
+      if (obs_on) full_stripe_writes_.inc();
       write_full_stripe(l / per, chunk);
     } else {
+      if (obs_on) partial_stripe_writes_.inc();
       write_partial_stripe(l / per, i0, n, chunk);
     }
     done += n;
+  }
+  if (obs_on) {
+    ranged_writes_.inc();
+    write_latency_us_.observe(elapsed_us(t0));
   }
 }
 
@@ -417,6 +449,16 @@ void ArrayController::write_full_stripe(std::int64_t stripe,
       wr.push_back({{r, c}, v.block({r, c}).data()});
     }
   }
+  if (obs::metrics_enabled()) {
+    std::uint64_t np = 0;
+    for (const CellWrite& cw : wr) {
+      if (kind_[static_cast<std::size_t>(flat_of(cw.cell))] !=
+          CellKind::kData) {
+        ++np;
+      }
+    }
+    direct_parities_.inc(np);  // encode() issues zero pre-reads
+  }
   write_cells(stripe, wr);
   for (std::size_t i = 0; i < data_cells_.size(); ++i) {
     cache_fill(stripe, data_cells_[i], in.subspan(i * bs, bs));
@@ -470,6 +512,12 @@ void ArrayController::write_partial_stripe(std::int64_t stripe, int i0, int n,
         }
       }
     }
+  }
+  if (obs::metrics_enabled()) {
+    std::uint64_t nd = 0;
+    for (char dflag : direct) nd += static_cast<std::uint64_t>(dflag);
+    direct_parities_.inc(nd);
+    rmw_parities_.inc(affected.size() - nd);
   }
 
   // Old values of the needed cells, turned into deltas in place.
@@ -556,6 +604,37 @@ void ArrayController::invalidate_cache() {
 
 StripeCache::Stats ArrayController::cache_stats() const {
   return cache_ ? cache_->stats() : StripeCache::Stats{};
+}
+
+ArrayController::PlannerCounters ArrayController::planner_counters() const {
+  return {ranged_reads_.value(),        ranged_writes_.value(),
+          full_stripe_writes_.value(),  partial_stripe_writes_.value(),
+          direct_parities_.value(),     rmw_parities_.value()};
+}
+
+void ArrayController::attach_metrics(obs::Registry& registry,
+                                     const std::string& prefix) {
+  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+    c.counter(prefix + "_ranged_reads", ranged_reads_.value());
+    c.counter(prefix + "_ranged_writes", ranged_writes_.value());
+    c.counter(prefix + "_full_stripe_writes", full_stripe_writes_.value());
+    c.counter(prefix + "_partial_stripe_writes",
+              partial_stripe_writes_.value());
+    c.counter(prefix + "_direct_parities", direct_parities_.value());
+    c.counter(prefix + "_rmw_parities", rmw_parities_.value());
+    c.histogram(prefix + "_read_latency_us", read_latency_us_.snapshot());
+    c.histogram(prefix + "_write_latency_us", write_latency_us_.snapshot());
+    const StripeCache::Stats cs = cache_stats();
+    c.counter(prefix + "_cache_hits", cs.hits);
+    c.counter(prefix + "_cache_misses", cs.misses);
+    c.counter(prefix + "_cache_insertions", cs.insertions);
+    c.counter(prefix + "_cache_evictions", cs.evictions);
+    c.gauge(prefix + "_cache_stripes",
+            static_cast<std::int64_t>(cache_stripes_));
+    const std::uint64_t total = cs.hits + cs.misses;
+    c.gauge(prefix + "_cache_hit_ratio_pct",
+            total == 0 ? 0 : static_cast<std::int64_t>(cs.hits * 100 / total));
+  });
 }
 
 void ArrayController::invalidate_recovery_state() {

@@ -46,6 +46,7 @@
 #include "codes/erasure_code.hpp"
 #include "migration/disk_array.hpp"
 #include "migration/stripe_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace c56::mig {
 
@@ -84,6 +85,28 @@ class ArrayController {
   void invalidate_cache();
   /// Zeroed stats when the cache is disabled.
   StripeCache::Stats cache_stats() const;
+
+  /// Ranged-planner decision counters, maintained only while
+  /// obs::metrics_enabled() — they are the observability view of the
+  /// batched path (full-stripe fast paths taken, parities computed
+  /// directly with no pre-read, parities that paid a read-modify-write).
+  struct PlannerCounters {
+    std::uint64_t ranged_reads = 0;
+    std::uint64_t ranged_writes = 0;
+    std::uint64_t full_stripe_writes = 0;
+    std::uint64_t partial_stripe_writes = 0;
+    std::uint64_t direct_parities = 0;  // pre-reads avoided
+    std::uint64_t rmw_parities = 0;
+  };
+  PlannerCounters planner_counters() const;
+
+  /// Export planner counters, ranged-I/O latency histograms
+  /// ({prefix}_read_latency_us / {prefix}_write_latency_us), and the
+  /// stripe-cache stats (plus a {prefix}_cache_hit_ratio_pct gauge)
+  /// through `registry` snapshots. Detaches on destruction.
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "controller");
+  void detach_metrics() { metrics_handle_.remove(); }
 
   /// Failure management. At most two concurrent failures (the code's
   /// fault tolerance); fail_disk throws beyond that.
@@ -186,6 +209,18 @@ class ArrayController {
 
   std::unique_ptr<StripeCache> cache_;  // null when disabled
   std::size_t cache_stripes_ = 0;
+
+  // Observability (updated only under obs::metrics_enabled()).
+  obs::Counter ranged_reads_;
+  obs::Counter ranged_writes_;
+  obs::Counter full_stripe_writes_;
+  obs::Counter partial_stripe_writes_;
+  obs::Counter direct_parities_;
+  obs::Counter rmw_parities_;
+  obs::Histogram read_latency_us_;
+  obs::Histogram write_latency_us_;
+  // Declared last so the collector detaches before anything it reads.
+  obs::CollectorHandle metrics_handle_;
 };
 
 }  // namespace c56::mig

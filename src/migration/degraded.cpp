@@ -11,11 +11,12 @@
 namespace c56::mig {
 namespace {
 
-void backoff(const RetryPolicy& policy, int attempt) {
+void backoff(const RetryPolicy& policy, int attempt, IoCounters* counters) {
   if (policy.backoff_us == 0) return;
-  const auto us = std::chrono::microseconds(
-      static_cast<std::uint64_t>(policy.backoff_us) << (attempt - 1));
-  std::this_thread::sleep_for(us);
+  const std::uint64_t us = static_cast<std::uint64_t>(policy.backoff_us)
+                           << (attempt - 1);
+  if (counters) counters->backoff_us += us;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 bool transient(IoStatus s) {
@@ -35,7 +36,7 @@ IoResult read_block_retry(DiskArray& a, int disk, std::int64_t block,
       return r;
     }
     if (counters) ++counters->retries;
-    backoff(policy, attempt);
+    backoff(policy, attempt, counters);
   }
 }
 
@@ -50,7 +51,7 @@ IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
       return r;
     }
     if (counters) ++counters->retries;
-    backoff(policy, attempt);
+    backoff(policy, attempt, counters);
   }
 }
 

@@ -25,6 +25,7 @@ struct IoCounters {
   std::uint64_t reads = 0;    // counted reads issued, retries included
   std::uint64_t writes = 0;   // counted writes issued, retries included
   std::uint64_t retries = 0;  // reissues after a transient error
+  std::uint64_t backoff_us = 0;  // time slept between retry attempts
 };
 
 /// Read with retry. kSectorError is transient (reissued up to

@@ -107,9 +107,13 @@ void DiskArray::set_fault_plan(const FaultPlan& plan) {
   injecting_ = true;
 }
 
+void DiskArray::mark_failed(Disk& d) {
+  if (!d.failed.exchange(true)) disk_failure_events_.inc();
+}
+
 void DiskArray::fail_disk(int disk) {
   check(disk, 0);
-  disks_[static_cast<std::size_t>(disk)]->failed.store(true);
+  mark_failed(*disks_[static_cast<std::size_t>(disk)]);
 }
 
 void DiskArray::repair_disk(int disk) {
@@ -154,15 +158,16 @@ IoResult DiskArray::read_block(int disk, std::int64_t block,
     throw std::invalid_argument("DiskArray::read_block: bad buffer size");
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
-  d.reads.fetch_add(1, std::memory_order_relaxed);
-  d.read_runs.fetch_add(1, std::memory_order_relaxed);
+  d.reads.inc();
+  d.read_runs.inc();
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
-    d.failed.store(true);
+    mark_failed(d);
   }
   if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
   if (injecting_ &&
       (is_bad(disk, block) || roll(sector_error_rate_))) {
+    sector_errors_.inc();
     return IoResult::fail(IoStatus::kSectorError, disk, block);
   }
   const auto src = d.data.span().subspan(
@@ -178,17 +183,18 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
     throw std::invalid_argument("DiskArray::write_block: bad buffer size");
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
-  d.writes.fetch_add(1, std::memory_order_relaxed);
-  d.write_runs.fetch_add(1, std::memory_order_relaxed);
+  d.writes.inc();
+  d.write_runs.inc();
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
-    d.failed.store(true);
+    mark_failed(d);
   }
   if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
   const auto dst = d.data.span().subspan(
       static_cast<std::size_t>(block) * block_bytes_, block_bytes_);
   if (injecting_ && roll(torn_write_rate_)) {
     std::memcpy(dst.data(), in.data(), block_bytes_ / 2);
+    torn_writes_.inc();
     return IoResult::fail(IoStatus::kTornWrite, disk, block);
   }
   std::memcpy(dst.data(), in.data(), block_bytes_);
@@ -204,9 +210,8 @@ IoResult DiskArray::read_blocks(int disk, std::int64_t block,
     throw std::invalid_argument("DiskArray::read_blocks: bad buffer size");
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
-  d.reads.fetch_add(static_cast<std::uint64_t>(count),
-                    std::memory_order_relaxed);
-  d.read_runs.fetch_add(1, std::memory_order_relaxed);
+  d.reads.inc(static_cast<std::uint64_t>(count));
+  d.read_runs.inc();
   const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
                                             std::memory_order_relaxed);
   // Per-block fail_after semantics: block k of the run carries ordinal
@@ -219,7 +224,7 @@ IoResult DiskArray::read_blocks(int disk, std::int64_t block,
   } else if (fail_at - ord < static_cast<std::uint64_t>(count)) {
     ok = static_cast<std::int64_t>(fail_at - ord);
   }
-  if (ok < count) d.failed.store(true);
+  if (ok < count) mark_failed(d);
   if (was_failed) ok = 0;  // already-failed disk
   const auto src = d.data.span().subspan(
       static_cast<std::size_t>(block) * block_bytes_,
@@ -235,6 +240,7 @@ IoResult DiskArray::read_blocks(int disk, std::int64_t block,
   }
   for (std::int64_t k = 0; k < ok; ++k) {
     if (is_bad(disk, block + k) || roll(sector_error_rate_)) {
+      sector_errors_.inc();
       return IoResult::fail(IoStatus::kSectorError, disk, block + k);
     }
     std::memcpy(out.data() + static_cast<std::size_t>(k) * block_bytes_,
@@ -254,9 +260,8 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
     throw std::invalid_argument("DiskArray::write_blocks: bad buffer size");
   }
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
-  d.writes.fetch_add(static_cast<std::uint64_t>(count),
-                     std::memory_order_relaxed);
-  d.write_runs.fetch_add(1, std::memory_order_relaxed);
+  d.writes.inc(static_cast<std::uint64_t>(count));
+  d.write_runs.inc();
   const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
                                             std::memory_order_relaxed);
   const bool was_failed = d.failed.load();
@@ -267,7 +272,7 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
   } else if (fail_at - ord < static_cast<std::uint64_t>(count)) {
     ok = static_cast<std::int64_t>(fail_at - ord);
   }
-  if (ok < count) d.failed.store(true);
+  if (ok < count) mark_failed(d);
   if (was_failed) ok = 0;
   const auto dst = d.data.span().subspan(
       static_cast<std::size_t>(block) * block_bytes_,
@@ -286,6 +291,7 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
     const auto* bsrc = in.data() + static_cast<std::size_t>(k) * block_bytes_;
     if (roll(torn_write_rate_)) {
       std::memcpy(bdst, bsrc, block_bytes_ / 2);
+      torn_writes_.inc();
       return IoResult::fail(IoStatus::kTornWrite, disk, block + k);
     }
     std::memcpy(bdst, bsrc, block_bytes_);
@@ -297,13 +303,11 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
 }
 
 std::uint64_t DiskArray::reads(int disk) const {
-  return disks_[static_cast<std::size_t>(disk)]->reads.load(
-      std::memory_order_relaxed);
+  return disks_[static_cast<std::size_t>(disk)]->reads.value();
 }
 
 std::uint64_t DiskArray::writes(int disk) const {
-  return disks_[static_cast<std::size_t>(disk)]->writes.load(
-      std::memory_order_relaxed);
+  return disks_[static_cast<std::size_t>(disk)]->writes.value();
 }
 
 std::uint64_t DiskArray::total_reads() const {
@@ -319,13 +323,11 @@ std::uint64_t DiskArray::total_writes() const {
 }
 
 std::uint64_t DiskArray::read_runs(int disk) const {
-  return disks_[static_cast<std::size_t>(disk)]->read_runs.load(
-      std::memory_order_relaxed);
+  return disks_[static_cast<std::size_t>(disk)]->read_runs.value();
 }
 
 std::uint64_t DiskArray::write_runs(int disk) const {
-  return disks_[static_cast<std::size_t>(disk)]->write_runs.load(
-      std::memory_order_relaxed);
+  return disks_[static_cast<std::size_t>(disk)]->write_runs.value();
 }
 
 std::uint64_t DiskArray::total_read_runs() const {
@@ -338,6 +340,34 @@ std::uint64_t DiskArray::total_write_runs() const {
   std::uint64_t n = 0;
   for (int d = 0; d < disks(); ++d) n += write_runs(d);
   return n;
+}
+
+void DiskArray::attach_metrics(obs::Registry& registry,
+                               const std::string& prefix) {
+  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+    std::uint64_t reads_total = 0, writes_total = 0;
+    std::uint64_t read_runs_total = 0, write_runs_total = 0;
+    for (std::size_t d = 0; d < disks_.size(); ++d) {
+      const Disk& disk = *disks_[d];
+      const std::string label = "{disk=\"" + std::to_string(d) + "\"}";
+      c.counter(prefix + "_reads" + label, disk.reads.value());
+      c.counter(prefix + "_writes" + label, disk.writes.value());
+      c.counter(prefix + "_read_runs" + label, disk.read_runs.value());
+      c.counter(prefix + "_write_runs" + label, disk.write_runs.value());
+      reads_total += disk.reads.value();
+      writes_total += disk.writes.value();
+      read_runs_total += disk.read_runs.value();
+      write_runs_total += disk.write_runs.value();
+    }
+    c.counter(prefix + "_reads_total", reads_total);
+    c.counter(prefix + "_writes_total", writes_total);
+    c.counter(prefix + "_read_runs_total", read_runs_total);
+    c.counter(prefix + "_write_runs_total", write_runs_total);
+    c.counter(prefix + "_sector_errors", sector_errors_.value());
+    c.counter(prefix + "_torn_writes", torn_writes_.value());
+    c.counter(prefix + "_disk_failures", disk_failure_events_.value());
+    c.gauge(prefix + "_failed_disks", failed_disks());
+  });
 }
 
 }  // namespace c56::mig

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "migration/fault.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "xorblk/buffer.hpp"
 
@@ -88,19 +89,47 @@ class DiskArray {
   std::uint64_t total_read_runs() const;
   std::uint64_t total_write_runs() const;
 
+  /// Fault events observed by counted I/O since construction: injected
+  /// sector errors and torn writes surfaced to callers, and disks that
+  /// transitioned to failed (scripted fail_after trips and explicit
+  /// fail_disk calls; repairs don't subtract).
+  std::uint64_t sector_errors() const { return sector_errors_.value(); }
+  std::uint64_t torn_writes() const { return torn_writes_.value(); }
+  std::uint64_t disk_failure_events() const {
+    return disk_failure_events_.value();
+  }
+
+  /// Export the per-disk counters, totals, and fault events through
+  /// `registry` snapshots as `{prefix}_reads{disk="0"}`,
+  /// `{prefix}_reads_total`, `{prefix}_sector_errors`, ... plus a
+  /// `{prefix}_failed_disks` gauge. The collector detaches when the
+  /// array is destroyed (or on detach_metrics). Attach after the final
+  /// geometry is set: the snapshot-time walk over the disks is
+  /// unlocked, so a concurrent add_disk would race it.
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "disk_array");
+  void detach_metrics() { metrics_handle_.remove(); }
+
  private:
   static constexpr std::uint64_t kNeverFails = ~std::uint64_t{0};
 
   struct Disk {
     Buffer data;
-    std::atomic<std::uint64_t> reads{0};
-    std::atomic<std::uint64_t> writes{0};
-    std::atomic<std::uint64_t> read_runs{0};
-    std::atomic<std::uint64_t> write_runs{0};
+    // Registry-backed counters (obs::Counter is the same relaxed atomic
+    // the bespoke counters were); the reads()/writes()/*_runs()
+    // accessors stay the authoritative API and keep counting whether or
+    // not metrics are enabled or a registry is attached.
+    obs::Counter reads;
+    obs::Counter writes;
+    obs::Counter read_runs;
+    obs::Counter write_runs;
     std::atomic<std::uint64_t> ios{0};  // reads + writes, for fail_after
     std::atomic<std::uint64_t> fail_after{kNeverFails};
     std::atomic<bool> failed{false};
   };
+
+  // Marks the disk failed, counting the event only on the transition.
+  void mark_failed(Disk& d);
 
   void check(int disk, std::int64_t block) const;  // throws out_of_range
   void check_run(int disk, std::int64_t block, std::int64_t count) const;
@@ -120,6 +149,15 @@ class DiskArray {
   double torn_write_rate_ = 0.0;
   std::vector<std::pair<int, std::int64_t>> bad_blocks_;
   Rng rng_{0};
+
+  // Array-wide fault-event counters.
+  obs::Counter sector_errors_;
+  obs::Counter torn_writes_;
+  obs::Counter disk_failure_events_;
+
+  // Declared last so the collector detaches before anything it reads
+  // is torn down.
+  obs::CollectorHandle metrics_handle_;
 };
 
 }  // namespace c56::mig

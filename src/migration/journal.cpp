@@ -106,6 +106,7 @@ void MigrationJournal::record(std::int64_t groups_done, int diag_rows) {
   CheckpointRecord rec{++seq_, groups_done, diag_rows};
   sink_.write_slot(next_slot_, encode(rec));
   next_slot_ ^= 1;
+  records_.inc();
 }
 
 std::optional<CheckpointRecord> MigrationJournal::recover() {
@@ -113,7 +114,13 @@ std::optional<CheckpointRecord> MigrationJournal::recover() {
   int best_slot = -1;
   for (int slot = 0; slot < 2; ++slot) {
     const auto bytes = sink_.read_slot(slot);
-    if (auto rec = decode(bytes); rec && (!best || rec->seq > best->seq)) {
+    // `>=` makes equal-seq ties deterministic: prefer the LATER slot.
+    // Two valid records can share a seq after a torn write of slot A is
+    // retried into slot B (the writer re-records the same position);
+    // the later slot is the more recently written copy of that
+    // position, and picking it also makes next_slot_ point at the
+    // earlier (stale) twin so the duplicate is overwritten first.
+    if (auto rec = decode(bytes); rec && (!best || rec->seq >= best->seq)) {
       best = rec;
       best_slot = slot;
     }

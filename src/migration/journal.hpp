@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace c56::mig {
 
 struct CheckpointRecord {
@@ -71,10 +73,14 @@ class MigrationJournal {
   static std::optional<CheckpointRecord> decode(
       std::span<const std::uint8_t> bytes);
 
+  /// Checkpoints persisted through this journal instance.
+  std::uint64_t records() const { return records_.value(); }
+
  private:
   CheckpointSink& sink_;
   std::uint64_t seq_ = 0;
   int next_slot_ = 0;
+  obs::Counter records_;
 };
 
 }  // namespace c56::mig

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "layout/raid.hpp"
+#include "util/env.hpp"
 #include "util/prime.hpp"
 #include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
@@ -53,9 +54,11 @@ OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
   groups_ = array.blocks_per_disk() / (p - 1);
   rows_done_ =
       std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(groups_));
-  if (const char* env = std::getenv("C56_CONVERT_WORKERS")) {
-    const int n = std::atoi(env);
-    if (n > 0) workers_requested_ = std::min(n, 64);
+  // Checked knob parsing: garbage keeps the default (1 worker),
+  // negative/zero clamps to 1 and oversized requests clamp to the
+  // 64-worker ceiling instead of overflowing through atoi.
+  if (const auto v = util::env_int("C56_CONVERT_WORKERS", 1, 64)) {
+    workers_requested_ = static_cast<int>(*v);
   }
 }
 
@@ -283,6 +286,7 @@ IoResult OnlineMigrator::read_source(int disk, std::int64_t block,
     std::lock_guard sk(stats_mu_);
     (conversion ? stats_.conv_reads : stats_.app_reads) += c.reads;
     stats_.retries += c.retries;
+    stats_.backoff_us += c.backoff_us;
     if (reconstructed) ++stats_.reconstructed_reads;
   }
   return r;
@@ -316,6 +320,7 @@ IoResult OnlineMigrator::generate_diag(std::int64_t group, int diag_row) {
     std::lock_guard sk(stats_mu_);
     stats_.conv_writes += c.writes;
     stats_.retries += c.retries;
+    stats_.backoff_us += c.backoff_us;
   }
   return res;
 }
@@ -432,6 +437,9 @@ void OnlineMigrator::conversion_worker(int w) {
           return;
         }
         rows_done_[g].store(i + 1, std::memory_order_release);
+        if (obs::metrics_enabled()) {
+          worker_rows_[static_cast<std::size_t>(w)].inc();
+        }
       }
       note_progress(g, i + 1);
     }
@@ -506,6 +514,7 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
         std::lock_guard sk(stats_mu_);
         stats_.app_writes += c.writes;
         stats_.retries += c.retries;
+        stats_.backoff_us += c.backoff_us;
       }
       parity_updated = w.ok();
     }
@@ -525,6 +534,7 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
       std::lock_guard sk(stats_mu_);
       stats_.app_writes += c.writes;
       stats_.retries += c.retries;
+      stats_.backoff_us += c.backoff_us;
     }
     data_written = w.ok();
   } else {
@@ -561,6 +571,7 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
           std::lock_guard sk(stats_mu_);
           stats_.app_reads += c.reads;
           stats_.retries += c.retries;
+          stats_.backoff_us += c.backoff_us;
         }
         if (r.ok()) {
           const IoResult w = [&] {
@@ -572,6 +583,7 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
               std::lock_guard sk(stats_mu_);
               stats_.app_writes += wc.writes;
               stats_.retries += wc.retries;
+              stats_.backoff_us += wc.backoff_us;
             }
             return res;
           }();
@@ -601,6 +613,43 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
 OnlineStats OnlineMigrator::stats() const {
   std::lock_guard sk(stats_mu_);
   return stats_;
+}
+
+void OnlineMigrator::attach_metrics(obs::Registry& registry,
+                                    const std::string& prefix) {
+  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+    // stats() and workers() take only leaf locks (stats_mu_ / mu_),
+    // which never nest inside anything that could be waiting on the
+    // registry, so locking them from the collector is safe.
+    const OnlineStats s = stats();
+    c.counter(prefix + "_conv_reads", s.conv_reads);
+    c.counter(prefix + "_conv_writes", s.conv_writes);
+    c.counter(prefix + "_app_reads", s.app_reads);
+    c.counter(prefix + "_app_writes", s.app_writes);
+    c.counter(prefix + "_interruptions", s.interruptions);
+    c.counter(prefix + "_retries", s.retries);
+    c.counter(prefix + "_reconstructed_reads", s.reconstructed_reads);
+    c.counter(prefix + "_degraded_writes", s.degraded_writes);
+    c.counter(prefix + "_backoff_us", s.backoff_us);
+    const int n = workers();
+    std::uint64_t rows_total = 0;
+    for (int w = 0; w < n; ++w) {
+      const std::uint64_t rows = worker_rows_[static_cast<std::size_t>(w)]
+                                     .value();
+      c.counter(prefix + "_rows_converted{worker=\"" + std::to_string(w) +
+                    "\"}",
+                rows);
+      rows_total += rows;
+    }
+    c.counter(prefix + "_rows_converted_total", rows_total);
+    {
+      std::lock_guard pk(progress_mu_);
+      c.counter(prefix + "_journal_checkpoints",
+                journal_ ? journal_->records() : 0);
+    }
+    c.gauge(prefix + "_groups_done", groups_done_.load());
+    c.gauge(prefix + "_groups", groups_);
+  });
 }
 
 std::int64_t OnlineMigrator::rebuild_failed_disks() {
@@ -681,6 +730,7 @@ std::int64_t OnlineMigrator::rebuild_failed_disks() {
           }
           std::lock_guard sk(stats_mu_);
           stats_.retries += c.retries;
+          stats_.backoff_us += c.backoff_us;
         }
       }
       rebuilt += m;

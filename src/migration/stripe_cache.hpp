@@ -16,6 +16,7 @@
 // lookup/fill/invalidate from any number of threads is safe. Stripes
 // map to shards by index, spreading a sequential scan across locks.
 
+#include <cassert>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -72,6 +73,11 @@ class StripeCache {
   };
 
   Shard& shard_of(std::int64_t stripe) {
+    // The key domain is non-negative stripe indices. A negative stripe
+    // cast through size_t would wrap to a huge value and still land in
+    // *some* shard, silently splitting one stripe's entries across
+    // shards between callers that disagree on sign — catch it here.
+    assert(stripe >= 0 && "StripeCache keys are non-negative stripe indices");
     return shards_[static_cast<std::size_t>(stripe) % shards_.size()];
   }
 

@@ -1,0 +1,392 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace c56::obs {
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int k = 0; k < kBuckets; ++k) {
+    const std::uint64_t n = buckets_[k].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    // Inclusive upper bound of bit-width bucket k: 2^k - 1 (0 for k=0).
+    const std::uint64_t ub =
+        k == 0 ? 0
+               : (k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1);
+    s.buckets.emplace_back(ub, n);
+  }
+  s.p50 = s.quantile(0.50);
+  s.p95 = s.quantile(0.95);
+  s.p99 = s.quantile(0.99);
+  return s;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (const auto& [ub, n] : buckets) {
+    if (static_cast<double>(seen + n) < target) {
+      seen += n;
+      continue;
+    }
+    const std::uint64_t lo = ub == 0 ? 0 : ub / 2 + 1;  // 2^(k-1)
+    const double frac =
+        n == 0 ? 0.0 : (target - static_cast<double>(seen)) /
+                           static_cast<double>(n);
+    const double est =
+        static_cast<double>(lo) + frac * static_cast<double>(ub - lo);
+    // The true maximum is tracked exactly; never report past it.
+    return std::min(est, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Deques give stable element addresses as metrics are added.
+  std::deque<std::pair<std::string, Counter>> counters;
+  std::deque<std::pair<std::string, Gauge>> gauges;
+  std::deque<std::pair<std::string, Histogram>> histograms;
+  std::unordered_map<std::string, Counter*> counter_index;
+  std::unordered_map<std::string, Gauge*> gauge_index;
+  std::unordered_map<std::string, Histogram*> histogram_index;
+  struct Coll {
+    std::uint64_t id;
+    std::function<void(Collection&)> fn;
+  };
+  std::vector<Coll> collectors;
+  std::uint64_t next_collector_id = 1;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* reg = [] {
+    // The C56_METRICS / C56_TRACE env knobs arm the process-wide
+    // switches the first time anyone touches the global registry.
+    if (const auto v = util::env_int("C56_METRICS", 0, 1); v && *v != 0) {
+      set_metrics_enabled(true);
+    }
+    return new Registry();
+  }();
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lk(impl_->mu);
+  if (auto it = impl_->counter_index.find(name);
+      it != impl_->counter_index.end()) {
+    return *it->second;
+  }
+  impl_->counters.emplace_back(std::piecewise_construct,
+                               std::forward_as_tuple(name),
+                               std::forward_as_tuple());
+  Counter* c = &impl_->counters.back().second;
+  impl_->counter_index.emplace(name, c);
+  return *c;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lk(impl_->mu);
+  if (auto it = impl_->gauge_index.find(name); it != impl_->gauge_index.end()) {
+    return *it->second;
+  }
+  impl_->gauges.emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple());
+  Gauge* g = &impl_->gauges.back().second;
+  impl_->gauge_index.emplace(name, g);
+  return *g;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lk(impl_->mu);
+  if (auto it = impl_->histogram_index.find(name);
+      it != impl_->histogram_index.end()) {
+    return *it->second;
+  }
+  impl_->histograms.emplace_back(std::piecewise_construct,
+                                 std::forward_as_tuple(name),
+                                 std::forward_as_tuple());
+  Histogram* h = &impl_->histograms.back().second;
+  impl_->histogram_index.emplace(name, h);
+  return *h;
+}
+
+CollectorHandle Registry::add_collector(std::function<void(Collection&)> fn) {
+  std::lock_guard lk(impl_->mu);
+  const std::uint64_t id = impl_->next_collector_id++;
+  impl_->collectors.push_back({id, std::move(fn)});
+  return CollectorHandle(this, id);
+}
+
+void Registry::remove_collector(std::uint64_t id) noexcept {
+  std::lock_guard lk(impl_->mu);
+  std::erase_if(impl_->collectors,
+                [id](const Impl::Coll& c) { return c.id == id; });
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard lk(impl_->mu);
+    for (const auto& [name, c] : impl_->counters) {
+      Metric m;
+      m.name = name;
+      m.kind = MetricKind::kCounter;
+      m.counter = c.value();
+      snap.metrics.push_back(std::move(m));
+    }
+    for (const auto& [name, g] : impl_->gauges) {
+      Metric m;
+      m.name = name;
+      m.kind = MetricKind::kGauge;
+      m.gauge = g.value();
+      snap.metrics.push_back(std::move(m));
+    }
+    for (const auto& [name, h] : impl_->histograms) {
+      Metric m;
+      m.name = name;
+      m.kind = MetricKind::kHistogram;
+      m.hist = h.snapshot();
+      snap.metrics.push_back(std::move(m));
+    }
+    Collection coll(snap.metrics);
+    for (const auto& c : impl_->collectors) c.fn(coll);
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lk(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.set(0);
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+std::string Registry::to_json() const { return obs::to_json(snapshot()); }
+std::string Registry::to_prometheus() const {
+  return obs::to_prometheus(snapshot());
+}
+
+// ---------------------------------------------------------------------
+// Collection / CollectorHandle
+// ---------------------------------------------------------------------
+
+void Collection::counter(std::string name, std::uint64_t v) {
+  Metric m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kCounter;
+  m.counter = v;
+  out_.push_back(std::move(m));
+}
+
+void Collection::gauge(std::string name, std::int64_t v) {
+  Metric m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kGauge;
+  m.gauge = v;
+  out_.push_back(std::move(m));
+}
+
+void Collection::histogram(std::string name, HistogramSnapshot h) {
+  Metric m;
+  m.name = std::move(name);
+  m.kind = MetricKind::kHistogram;
+  m.hist = std::move(h);
+  out_.push_back(std::move(m));
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& o) noexcept
+    : reg_(o.reg_), id_(o.id_) {
+  o.reg_ = nullptr;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& o) noexcept {
+  if (this != &o) {
+    remove();
+    reg_ = o.reg_;
+    id_ = o.id_;
+    o.reg_ = nullptr;
+  }
+  return *this;
+}
+
+CollectorHandle::~CollectorHandle() { remove(); }
+
+void CollectorHandle::remove() noexcept {
+  if (reg_) {
+    reg_->remove_collector(id_);
+    reg_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+const Metric* Snapshot::find(const std::string& name) const {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Metric name with any trailing {label} block stripped — what the
+/// Prometheus "# TYPE" line and the _sum/_count suffixes key on.
+std::string base_name(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// JSON string escaping: label blocks embed quotes (disk="0"), and a
+/// hostile name must not be able to break the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+    const Metric& m = snap.metrics[i];
+    out << "    \"" << json_escape(m.name) << "\": ";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << m.counter;
+        break;
+      case MetricKind::kGauge:
+        out << m.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        out << "{\"count\": " << m.hist.count << ", \"sum\": " << m.hist.sum
+            << ", \"max\": " << m.hist.max
+            << ", \"p50\": " << fmt_double(m.hist.p50)
+            << ", \"p95\": " << fmt_double(m.hist.p95)
+            << ", \"p99\": " << fmt_double(m.hist.p99) << ", \"buckets\": [";
+        for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+          out << (b ? ", " : "") << "[" << m.hist.buckets[b].first << ", "
+              << m.hist.buckets[b].second << "]";
+        }
+        out << "]}";
+        break;
+      }
+    }
+    out << (i + 1 < snap.metrics.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  return out.str();
+}
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream out;
+  std::string last_typed;
+  for (const Metric& m : snap.metrics) {
+    const std::string base = base_name(m.name);
+    if (base != last_typed) {
+      const char* type = m.kind == MetricKind::kCounter   ? "counter"
+                         : m.kind == MetricKind::kGauge   ? "gauge"
+                                                          : "summary";
+      out << "# TYPE " << base << " " << type << "\n";
+      last_typed = base;
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << m.name << " " << m.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << m.name << " " << m.gauge << "\n";
+        break;
+      case MetricKind::kHistogram:
+        // Summary exposition; histogram names are label-free by
+        // convention (see header), so the quantile label is the only
+        // label block.
+        out << base << "{quantile=\"0.5\"} " << fmt_double(m.hist.p50) << "\n"
+            << base << "{quantile=\"0.95\"} " << fmt_double(m.hist.p95)
+            << "\n"
+            << base << "{quantile=\"0.99\"} " << fmt_double(m.hist.p99)
+            << "\n"
+            << base << "_sum " << m.hist.sum << "\n"
+            << base << "_count " << m.hist.count << "\n"
+            << base << "_max " << m.hist.max << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace c56::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/env.hpp"
+
+namespace c56::obs {
+
+void set_trace_enabled(bool on) noexcept {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t this_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = [] {
+    if (const auto v = util::env_int("C56_TRACE", 0, 1); v && *v != 0) {
+      set_trace_enabled(true);
+    }
+    return new TraceRecorder();
+  }();
+  return *rec;
+}
+
+void TraceRecorder::record(TraceSpan span) {
+  std::lock_guard lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceSpan> TraceRecorder::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: the slot at next_ is the oldest span.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lk(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceRecorder::to_json() const {
+  const std::vector<TraceSpan> spans = snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    out << "  {\"name\": \"" << s.name << "\", \"ph\": \"X\", \"ts\": "
+        << s.start_us << ", \"dur\": " << s.dur_us << ", \"pid\": 1, "
+        << "\"tid\": " << s.tid << "}"
+        << (i + 1 < spans.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (trace_enabled()) {
+    name_ = name;
+    start_us_ = now_us();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!name_) return;
+  TraceSpan s;
+  s.name = name_;
+  s.start_us = start_us_;
+  s.dur_us = now_us() - start_us_;
+  s.tid = this_tid();
+  TraceRecorder::global().record(std::move(s));
+}
+
+}  // namespace c56::obs

@@ -1,0 +1,88 @@
+#pragma once
+// Bounded ring-buffer trace-span recorder.
+//
+// A TraceSpan is a (name, start_us, dur_us, tid) tuple; ScopedSpan is
+// the RAII way to emit one around a region of interest (a ranged write,
+// a stripe-group conversion, a journal checkpoint). Recording is off by
+// default and gated on trace_enabled() — one relaxed atomic-bool branch
+// — so instrumented code costs nothing when tracing is disarmed.
+//
+// The recorder keeps the most recent `capacity` spans in a fixed ring
+// under a mutex (spans are rare, coarse events — lock cost is noise
+// next to the work they bracket) and counts how many were dropped once
+// the ring wrapped. to_json() renders the ring in Chrome trace-event
+// style ("X" complete events) so a dump can be loaded into any
+// about:tracing-compatible viewer.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace c56::obs {
+
+namespace detail {
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) noexcept;
+
+struct TraceSpan {
+  std::string name;
+  std::uint64_t start_us = 0;  // steady-clock microseconds
+  std::uint64_t dur_us = 0;
+  std::uint64_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// Process-wide recorder used by ScopedSpan.
+  static TraceRecorder& global();
+
+  void record(TraceSpan span);
+
+  /// Oldest-to-newest copy of the retained spans.
+  std::vector<TraceSpan> snapshot() const;
+
+  /// Spans overwritten because the ring was full.
+  std::uint64_t dropped() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drops everything recorded so far; also resets dropped().
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}).
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceSpan> ring_;
+  std::size_t next_ = 0;      // ring write cursor
+  std::uint64_t total_ = 0;   // spans ever recorded
+};
+
+/// Records a span covering its own lifetime when tracing is enabled at
+/// construction time. The name must outlive the scope (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr when tracing was off
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace c56::obs

@@ -17,6 +17,7 @@ SimResult ArraySimulator::run(const Trace& trace) {
   SimResult result;
   result.disk_busy_ms.assign(models_.size(), 0.0);
   for (DiskModel& m : models_) m.reset();
+  const bool obs_on = obs::metrics_enabled();
 
   // Each disk serves its queue in arrival order (FIFO), idling until
   // the next arrival when drained; disks are independent, so per-disk
@@ -73,13 +74,26 @@ SimResult ArraySimulator::run(const Trace& trace) {
           ++ecur;
         }
       };
+      // Queue depth seen by request i at its service start: requests
+      // arrive in issue order, so it is the count of already-arrived,
+      // not-yet-dispatched requests (including i itself).
+      std::size_t arrived = 0;
+      std::size_t dispatched = 0;
       for (const Request* r : q) {
         const double arrival = now + r->issue_ms;
         const double start = std::max(free_at, arrival);
         apply_events_until(start);
+        if (obs_on) {
+          while (arrived < q.size() && now + q[arrived]->issue_ms <= start) {
+            ++arrived;
+          }
+          queue_depth_.observe(arrived - dispatched);
+        }
+        ++dispatched;
         if (failed[d]) {
           ++result.requests_failed;
           ++result.failed_by_tag[r->tag];
+          if (obs_on) requests_failed_.inc();
           continue;
         }
         const double svc = models_[d].service_time_ms(r->lba, r->bytes);
@@ -87,6 +101,11 @@ SimResult ArraySimulator::run(const Trace& trace) {
         result.disk_busy_ms[d] += svc;
         ++result.requests_served;
         result.latency_by_tag[r->tag].add(free_at - arrival);
+        if (obs_on) {
+          requests_served_.inc();
+          request_latency_us_.observe(
+              static_cast<std::uint64_t>((free_at - arrival) * 1000.0));
+        }
       }
       apply_events_until(std::numeric_limits<double>::infinity());
       phase_end = std::max(phase_end, free_at);
@@ -115,6 +134,16 @@ SimResult ArraySimulator::run(const Trace& trace) {
     }
   }
   return result;
+}
+
+void ArraySimulator::attach_metrics(obs::Registry& registry,
+                                    const std::string& prefix) {
+  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+    c.counter(prefix + "_requests_served", requests_served_.value());
+    c.counter(prefix + "_requests_failed", requests_failed_.value());
+    c.histogram(prefix + "_request_latency_us", request_latency_us_.snapshot());
+    c.histogram(prefix + "_queue_depth", queue_depth_.snapshot());
+  });
 }
 
 }  // namespace c56::sim

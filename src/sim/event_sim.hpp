@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/disk_model.hpp"
 #include "sim/trace.hpp"
 
@@ -56,8 +58,24 @@ class ArraySimulator {
 
   int disks() const { return static_cast<int>(models_.size()); }
 
+  /// Export simulator metrics through `registry` snapshots: request
+  /// latency ({prefix}_request_latency_us, simulated time in µs) and
+  /// per-disk queue depth sampled at each service start
+  /// ({prefix}_queue_depth), plus served/failed counters. Histograms
+  /// accumulate across run() calls only while obs::metrics_enabled().
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "sim");
+  void detach_metrics() { metrics_handle_.remove(); }
+
  private:
   std::vector<DiskModel> models_;
+
+  obs::Histogram request_latency_us_;
+  obs::Histogram queue_depth_;
+  obs::Counter requests_served_;
+  obs::Counter requests_failed_;
+  // Declared last so the collector detaches before anything it reads.
+  obs::CollectorHandle metrics_handle_;
 };
 
 }  // namespace c56::sim

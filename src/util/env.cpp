@@ -1,0 +1,47 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace c56::util {
+
+void warn_env_once(const std::string& name, const std::string& msg) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  {
+    std::lock_guard lk(mu);
+    if (!warned->insert(name).second) return;
+  }
+  std::fprintf(stderr, "c56: %s: %s\n", name.c_str(), msg.c_str());
+}
+
+std::optional<long long> env_int(const char* name, long long lo,
+                                 long long hi) {
+  const char* s = std::getenv(name);
+  if (!s) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    warn_env_once(name, std::string("ignoring invalid value '") + s +
+                            "' (expected an integer in [" +
+                            std::to_string(lo) + ", " + std::to_string(hi) +
+                            "])");
+    return std::nullopt;
+  }
+  long long out = v;
+  if (errno == ERANGE || v < lo || v > hi) {
+    out = (errno == ERANGE ? (v == LLONG_MIN ? lo : hi)
+                           : (v < lo ? lo : hi));
+    warn_env_once(name, std::string("value '") + s + "' outside [" +
+                            std::to_string(lo) + ", " + std::to_string(hi) +
+                            "], clamped to " + std::to_string(out));
+  }
+  return out;
+}
+
+}  // namespace c56::util

@@ -1,0 +1,30 @@
+#pragma once
+// Checked environment-knob parsing. Every tunable the library reads
+// from the environment (C56_CONVERT_WORKERS, C56_CACHE_STRIPES,
+// C56_XOR_KERNEL, ...) goes through here so garbage, negative, or
+// overflowing values cannot silently become 0, wrap, or hit undefined
+// behaviour in atoi. Invalid input warns once per variable per process
+// on stderr and falls back to the caller's default; numeric input
+// outside the sane range is clamped to the nearer bound (also with a
+// one-shot warning).
+
+#include <optional>
+#include <string>
+
+namespace c56::util {
+
+/// Integer knob `name` constrained to [lo, hi].
+///  * unset            -> nullopt, silent (caller keeps its default)
+///  * non-numeric, trailing junk, or empty -> nullopt + one warning
+///  * numeric but out of [lo, hi] (including values that overflow
+///    long long) -> clamped to the nearer bound + one warning
+///  * otherwise the parsed value
+std::optional<long long> env_int(const char* name, long long lo,
+                                 long long hi);
+
+/// Emit "c56: $name: $msg" to stderr, at most once per `name` for the
+/// lifetime of the process (shared by env_int and by knobs with
+/// non-integer domains, e.g. C56_XOR_KERNEL's unknown-name warning).
+void warn_env_once(const std::string& name, const std::string& msg);
+
+}  // namespace c56::util

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "util/env.hpp"
 
 namespace c56 {
 
@@ -155,11 +158,26 @@ Registry build_registry() {
   r.active = &r.kernels[r.count - 1];
 
   if (const char* want = std::getenv("C56_XOR_KERNEL")) {
+    bool found = false;
     for (std::size_t i = 0; i < r.count; ++i) {
       if (std::strcmp(r.kernels[i].name, want) == 0) {
         r.active = &r.kernels[i];
+        found = true;
         break;
       }
+    }
+    if (!found) {
+      // An unknown name used to be silently ignored, making a typo
+      // indistinguishable from a real kernel selection.
+      std::string avail;
+      for (std::size_t i = 0; i < r.count; ++i) {
+        if (i) avail += ", ";
+        avail += r.kernels[i].name;
+      }
+      util::warn_env_once("C56_XOR_KERNEL",
+                          std::string("unknown kernel '") + want +
+                              "', keeping default '" + r.active->name +
+                              "' (available: " + avail + ")");
     }
   }
   return r;

@@ -1,10 +1,28 @@
 #include "xorblk/pool.hpp"
 
+#include <atomic>
+
 namespace c56 {
+
+namespace {
+// Process-wide aggregates: the per-thread pools are lock-free by
+// design, so cross-thread totals are kept in separate relaxed atomics,
+// touched only when metrics are enabled (one branch per acquire).
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+}  // namespace
 
 BufferPool& BufferPool::local() noexcept {
   thread_local BufferPool pool;
   return pool;
+}
+
+std::uint64_t BufferPool::global_hits() noexcept {
+  return g_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BufferPool::global_misses() noexcept {
+  return g_misses.load(std::memory_order_relaxed);
 }
 
 Buffer BufferPool::acquire(std::size_t size) {
@@ -14,10 +32,16 @@ Buffer BufferPool::acquire(std::size_t size) {
       b.free.pop_back();
       pooled_bytes_ -= size;
       ++hits_;
+      if (obs::metrics_enabled()) {
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       return out;
     }
   }
   ++misses_;
+  if (obs::metrics_enabled()) {
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   return Buffer(size);
 }
 
@@ -34,6 +58,13 @@ void BufferPool::release(Buffer&& b) noexcept {
   buckets_.push_back({size, {}});
   buckets_.back().free.push_back(std::move(b));
   pooled_bytes_ += size;
+}
+
+obs::CollectorHandle attach_pool_metrics(obs::Registry& registry) {
+  return registry.add_collector([](obs::Collection& c) {
+    c.counter("buffer_pool_hits", BufferPool::global_hits());
+    c.counter("buffer_pool_misses", BufferPool::global_misses());
+  });
 }
 
 }  // namespace c56

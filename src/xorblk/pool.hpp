@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "xorblk/buffer.hpp"
 
 namespace c56 {
@@ -34,6 +35,12 @@ class BufferPool {
   std::size_t pooled_bytes() const noexcept { return pooled_bytes_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Process-wide hit/miss totals aggregated across every thread's
+  /// pool. Maintained only while obs::metrics_enabled() — the
+  /// per-thread counters above are always exact.
+  static std::uint64_t global_hits() noexcept;
+  static std::uint64_t global_misses() noexcept;
 
  private:
   static constexpr std::size_t kMaxPooledBytes = 64u << 20;
@@ -75,5 +82,11 @@ class PooledBuffer {
  private:
   Buffer buf_;
 };
+
+/// Register a collector exporting the pool's process-wide aggregates
+/// (buffer_pool_hits / buffer_pool_misses) with `registry`. The caller
+/// owns the returned handle.
+[[nodiscard]] obs::CollectorHandle attach_pool_metrics(
+    obs::Registry& registry);
 
 }  // namespace c56

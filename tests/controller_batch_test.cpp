@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -307,6 +308,50 @@ TEST(VectoredIo, FailAfterCrossesMidRun) {
   const IoResult r2 = a.read_blocks(0, 0, 8, buf.span());
   EXPECT_EQ(r2.status, IoStatus::kDiskFailed);
   EXPECT_EQ(r2.block, 0);
+}
+
+// Ranged-request edge cases: the bounds check must accept ranges that
+// end exactly at logical_blocks(), treat count == 0 as a validated
+// no-op (no planner invocation, no disk I/O), and reject counts whose
+// logical + count would overflow std::int64_t instead of wrapping.
+TEST(BatchPlanner, RangedEdgeCases) {
+  auto code = make_code(CodeId::kCode56, 5);
+  DiskArray array(code->cols(), 2LL * code->rows(), kBlock);
+  ArrayController ctrl(array, std::move(code));
+  const std::int64_t logical = ctrl.logical_blocks();
+  Buffer buf(static_cast<std::size_t>(logical) * kBlock);
+  Rng rng(5);
+  rng.fill(buf.data(), buf.size());
+
+  // Exact-end ranges are valid on both paths.
+  ctrl.write(0, logical, buf.span());
+  ctrl.read(0, logical, buf.span());
+  ctrl.write(logical - 1, 1, {buf.data(), kBlock});
+  ctrl.read(logical - 1, 1, {buf.data(), kBlock});
+
+  // count == 0 anywhere in [0, logical] is a no-op: no disk traffic,
+  // not even for an empty range starting at the very end.
+  const std::uint64_t r0 = array.total_reads(), w0 = array.total_writes();
+  ctrl.read(0, 0, {buf.data(), 0});
+  ctrl.write(0, 0, {buf.data(), 0});
+  ctrl.read(logical, 0, {buf.data(), 0});
+  ctrl.write(logical, 0, {buf.data(), 0});
+  EXPECT_EQ(array.total_reads(), r0);
+  EXPECT_EQ(array.total_writes(), w0);
+
+  // Out-of-range and overflowing requests throw instead of wrapping.
+  const auto max64 = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(ctrl.read(0, logical + 1, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.read(1, logical, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.read(logical + 1, 0, {buf.data(), 0}),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.read(1, max64, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.write(1, max64, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.read(max64, max64, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.read(-1, 1, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.read(0, -1, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.write(-1, 1, buf.span()), std::out_of_range);
+  EXPECT_THROW(ctrl.write(0, -1, buf.span()), std::out_of_range);
 }
 
 }  // namespace

@@ -275,6 +275,55 @@ TEST(Journal, TornSlotFallsBackToOtherSlot) {
   ASSERT_TRUE(MigrationJournal::decode(sink.read_slot(1)).has_value());
 }
 
+TEST(Journal, EqualSeqTieBreakPrefersLaterSlot) {
+  // Two valid records can share a seq after a torn write of slot A is
+  // retried into slot B (the writer re-records the same position): the
+  // later slot is the fresher copy and must win. Pre-fix, recovery used
+  // a strict `>` compare and kept slot 0.
+  MemoryCheckpointSink sink;
+  sink.write_slot(0, MigrationJournal::encode(
+                         {.seq = 9, .groups_done = 3, .diag_rows = 1}));
+  sink.write_slot(1, MigrationJournal::encode(
+                         {.seq = 9, .groups_done = 3, .diag_rows = 2}));
+  MigrationJournal j(sink);
+  const auto rec = j.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->seq, 9u);
+  EXPECT_EQ(rec->groups_done, 3);
+  EXPECT_EQ(rec->diag_rows, 2);  // later slot
+  // The stale twin (slot 0) is overwritten first, keeping the winner.
+  j.record(4, 0);
+  const auto s0 = MigrationJournal::decode(sink.read_slot(0));
+  const auto s1 = MigrationJournal::decode(sink.read_slot(1));
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s0->groups_done, 4);
+  EXPECT_EQ(s1->diag_rows, 2);
+}
+
+TEST(Journal, SingleValidSlotRecovers) {
+  for (int valid = 0; valid < 2; ++valid) {
+    MemoryCheckpointSink sink;
+    sink.write_slot(valid, MigrationJournal::encode(
+                               {.seq = 5, .groups_done = 7, .diag_rows = 3}));
+    MigrationJournal j(sink);
+    const auto rec = j.recover();
+    ASSERT_TRUE(rec.has_value()) << "valid slot " << valid;
+    EXPECT_EQ(rec->groups_done, 7);
+    EXPECT_EQ(rec->diag_rows, 3);
+  }
+}
+
+TEST(Journal, BothSlotsCorruptRecoversNothing) {
+  MemoryCheckpointSink sink;
+  std::vector<std::uint8_t> junk(MigrationJournal::kSlotBytes, 0xA5);
+  sink.write_slot(0, junk);
+  junk.assign(MigrationJournal::kSlotBytes / 2, 0x5A);  // torn too
+  sink.write_slot(1, junk);
+  MigrationJournal j(sink);
+  EXPECT_FALSE(j.recover().has_value());
+}
+
 TEST(Journal, FileSinkRoundTrips) {
   const auto path = std::filesystem::temp_directory_path() /
                     "c56_journal_test.bin";

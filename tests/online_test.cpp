@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <thread>
 
@@ -57,6 +58,25 @@ TEST(DiskArray, AddDiskZeroed) {
   EXPECT_EQ(d, 2);
   EXPECT_EQ(a.disks(), 3);
   EXPECT_TRUE(all_zero(a.raw_block(2, 3)));
+}
+
+TEST(OnlineMigrator, WorkersKnobChecksItsInput) {
+  // C56_CONVERT_WORKERS goes through the checked env parser: garbage
+  // keeps the default, out-of-range clamps to [1, 64]. Pre-fix this was
+  // a bare atoi, so "bananas" silently became 0 workers.
+  DiskArray array(4, 8, kBlock);
+  const auto workers_with = [&](const char* v) {
+    ::setenv("C56_CONVERT_WORKERS", v, 1);
+    OnlineMigrator mig(array, 5);
+    ::unsetenv("C56_CONVERT_WORKERS");
+    return mig.workers();
+  };
+  EXPECT_EQ(workers_with("3"), 3);
+  EXPECT_EQ(workers_with("bananas"), 1);   // garbage -> default
+  EXPECT_EQ(workers_with("0"), 1);         // below range -> clamp
+  EXPECT_EQ(workers_with("-12"), 1);       // negative -> clamp
+  EXPECT_EQ(workers_with("100000"), 64);   // huge -> clamp
+  EXPECT_EQ(workers_with("99999999999999999999"), 64);  // overflow -> clamp
 }
 
 TEST(OnlineMigrator, RejectsBadGeometry) {

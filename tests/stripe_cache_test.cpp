@@ -203,6 +203,78 @@ TEST(ControllerCache, FailAndRebuildInvalidate) {
   }
 }
 
+TEST(StripeCache, EvictionCountedOncePerEvictedStripe) {
+  // capacity 2, one shard: every insertion beyond the second evicts
+  // exactly one stripe, and evictions must count one per stripe pushed
+  // out — not per cell, not per LRU touch.
+  StripeCache cache(2, /*cells_per_stripe=*/4, kBlock, /*shards=*/1);
+  std::vector<std::uint8_t> blk(kBlock, 0x11);
+  cache.fill(0, 0, blk);
+  cache.fill(0, 1, blk);  // same stripe: update, no insertion
+  cache.fill(1, 0, blk);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.fill(2, 0, blk);  // evicts stripe 0
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.fill(2, 1, blk);
+  cache.fill(2, 2, blk);  // updates: still one eviction
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.fill(3, 0, blk);  // evicts stripe 1
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.stats().insertions, 4u);
+}
+
+TEST(StripeCache, SingleShardHammer) {
+  // All traffic lands in one shard (stripes are multiples of the shard
+  // count), so every thread contends on one mutex: the TSan CI leg
+  // turns this into a lock-correctness check for fill / lookup /
+  // invalidate racing each other.
+  constexpr int kShards = 4;
+  StripeCache cache(kShards, /*cells_per_stripe=*/2, kBlock, kShards);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1998;  // divisible by 3: exact op-mix accounting
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::vector<std::uint8_t> blk(kBlock, static_cast<std::uint8_t>(t));
+      std::vector<std::uint8_t> out(kBlock);
+      for (int i = 0; i < kIters; ++i) {
+        const std::int64_t stripe =
+            static_cast<std::int64_t>(i % 3) * kShards;  // shard 0 always
+        switch ((i + t) % 3) {
+          case 0: cache.fill(stripe, i % 2, blk); break;
+          case 1: cache.lookup(stripe, i % 2, out); break;
+          default: cache.invalidate(stripe); break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters / 3);
+}
+
+TEST(ControllerCache, CacheStripesKnobChecksItsInput) {
+  // C56_CACHE_STRIPES goes through the checked env parser: garbage and
+  // negative values leave the cache off instead of strtoull-wrapping
+  // into an absurd capacity.
+  std::size_t cache_expected = 0;
+  const auto stripes_with = [&](const char* v) {
+    ASSERT_EQ(setenv("C56_CACHE_STRIPES", v, 1), 0) << v;
+    auto code = make_code(CodeId::kCode56, 5);
+    DiskArray array(code->cols(), 2LL * code->rows(), kBlock);
+    ArrayController ctrl(array, std::move(code));
+    unsetenv("C56_CACHE_STRIPES");
+    EXPECT_EQ(ctrl.cache_stripes(), cache_expected) << v;
+  };
+  stripes_with("garbage");  // non-numeric -> default off
+  stripes_with("-4");       // negative -> clamps to 0 -> off
+  stripes_with("12junk");   // trailing junk -> default off
+  cache_expected = 1u << 22;
+  stripes_with("99999999999999999999");  // overflow -> clamped cap
+}
+
 TEST(ControllerCache, EnvVarEnablesCacheAtConstruction) {
   ASSERT_EQ(setenv("C56_CACHE_STRIPES", "3", 1), 0);
   auto code = make_code(CodeId::kCode56, 5);

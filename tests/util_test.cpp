@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/prime.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -115,6 +117,54 @@ TEST(TextTable, FmtPrecision) {
   EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
   EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
   EXPECT_EQ(TextTable::pct(0.5, 0), "50%");
+}
+
+// env_int: the checked knob parser. warn_env_once fires at most once
+// per variable per process, so every case uses its own name.
+TEST(EnvInt, UnsetIsSilentNullopt) {
+  ::unsetenv("C56_TEST_UNSET");
+  EXPECT_EQ(util::env_int("C56_TEST_UNSET", 0, 100), std::nullopt);
+}
+
+TEST(EnvInt, ParsesInRangeValue) {
+  ::setenv("C56_TEST_OK", "42", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_OK", 1, 64), 42);
+}
+
+TEST(EnvInt, BoundsAreInclusive) {
+  ::setenv("C56_TEST_LO", "1", 1);
+  ::setenv("C56_TEST_HI", "64", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_LO", 1, 64), 1);
+  EXPECT_EQ(util::env_int("C56_TEST_HI", 1, 64), 64);
+}
+
+TEST(EnvInt, GarbageFallsBackToDefault) {
+  ::setenv("C56_TEST_GARBAGE", "bananas", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_GARBAGE", 1, 64), std::nullopt);
+  ::setenv("C56_TEST_TRAILING", "12abc", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_TRAILING", 1, 64), std::nullopt);
+  ::setenv("C56_TEST_EMPTY", "", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_EMPTY", 1, 64), std::nullopt);
+}
+
+TEST(EnvInt, NegativeClampsToLowerBound) {
+  ::setenv("C56_TEST_NEG", "-7", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_NEG", 1, 64), 1);
+}
+
+TEST(EnvInt, HugeValueClampsToUpperBound) {
+  // Overflows long long entirely: must clamp, not wrap or UB.
+  ::setenv("C56_TEST_HUGE", "99999999999999999999999999", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_HUGE", 1, 64), 64);
+  ::setenv("C56_TEST_HUGE_NEG", "-99999999999999999999999999", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_HUGE_NEG", 1, 64), 1);
+}
+
+TEST(EnvInt, OutOfRangeClampsToNearerBound) {
+  ::setenv("C56_TEST_OVER", "1000", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_OVER", 1, 64), 64);
+  ::setenv("C56_TEST_UNDER", "0", 1);
+  EXPECT_EQ(util::env_int("C56_TEST_UNDER", 1, 64), 1);
 }
 
 }  // namespace

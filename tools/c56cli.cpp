@@ -7,10 +7,14 @@
 //                                              analyze + simulate one route
 //   c56cli speedup [--lb]                      Table IV at n in {5,6,7}
 //   c56cli mttdl   <disks> <afr%> <repair_h>   Markov reliability numbers
+//   c56cli stats   [--prom]                    scripted migrate-under-faults
+//                                              run, metrics dump (JSON; --prom
+//                                              for Prometheus text)
 //
 // Codes: code56 rdp evenodd xcode pcode hcode hdp
 // Approaches: via-raid0 via-raid4 direct
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,13 +22,23 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/reliability.hpp"
 #include "analysis/report.hpp"
 #include "analysis/risk.hpp"
 #include "analysis/speedup.hpp"
+#include "codes/registry.hpp"
+#include "layout/raid.hpp"
+#include "migration/controller.hpp"
+#include "migration/journal.hpp"
+#include "migration/online.hpp"
 #include "migration/trace_gen.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+#include "xorblk/pool.hpp"
+#include "xorblk/xor.hpp"
 
 namespace {
 
@@ -210,6 +224,99 @@ int cmd_speedup(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stats(int argc, char** argv) {
+  const bool prom = has_flag(argc, argv, "--prom");
+  obs::set_metrics_enabled(true);
+  obs::Registry& reg = obs::Registry::global();
+  const obs::CollectorHandle pool_handle = attach_pool_metrics(reg);
+
+  // Scripted migrate-under-faults workload: a RAID-5 -> RAID-6
+  // conversion with transient sector errors, torn writes and one
+  // mid-stream disk death, application I/O racing the converter, a
+  // rebuild of the dead disk, then a batched-controller phase over a
+  // cached Code 5-6 array. Everything is seeded, so two runs dump the
+  // same snapshot.
+  const int p = 5, m = p - 1;
+  const std::int64_t groups = 8;
+  constexpr std::size_t kBlock = 512;
+
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+  {  // valid left-asymmetric RAID-5 with pseudo-random data
+    Rng rng(0xC56u);
+    std::vector<std::uint8_t> block(kBlock), parity(kBlock);
+    for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+      std::fill(parity.begin(), parity.end(), 0);
+      const int pdisk = raid5_parity_disk(Raid5Flavor::kLeftAsymmetric,
+                                          static_cast<int>(row % m), m);
+      for (int d = 0; d < m; ++d) {
+        if (d == pdisk) continue;
+        rng.fill(block.data(), kBlock);
+        std::ranges::copy(block, array.raw_block(d, row).begin());
+        xor_into(parity.data(), block.data(), kBlock);
+      }
+      std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+    }
+  }
+
+  mig::MemoryCheckpointSink sink;
+  mig::OnlineMigrator migrator(array, p);
+  migrator.attach_journal(sink);
+  migrator.set_workers(2);
+  mig::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.backoff_us = 1;
+  migrator.set_retry_policy(retry);
+
+  mig::FaultPlan plan;
+  plan.sector_error_rate = 0.02;
+  plan.torn_write_rate = 0.02;
+  plan.disk_failures.push_back({.disk = 1, .after_ios = 40});
+  array.set_fault_plan(plan);
+
+  migrator.start();
+  {  // application reads/writes concurrent with the conversion
+    Rng rng(7);
+    std::vector<std::uint8_t> buf(kBlock, 0xAB);
+    for (int i = 0; i < 200; ++i) {
+      const auto l = static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(migrator.logical_blocks())));
+      if (i % 3 == 0) {
+        migrator.write_block(l, buf);
+      } else {
+        migrator.read_block(l, buf);
+      }
+    }
+  }
+  migrator.finish();
+  migrator.rebuild_failed_disks();
+
+  // Batched-controller phase: full-stripe writes, a partial-stripe
+  // read-modify-write, and cached re-reads.
+  auto code = make_code(CodeId::kCode56, p);
+  const std::int64_t cstripes = 6;
+  mig::DiskArray carray(code->cols(), cstripes * code->rows(), kBlock);
+  mig::ArrayController ctrl(carray, std::move(code));
+  ctrl.set_cache_stripes(4);
+  {
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(ctrl.logical_blocks()) * kBlock, 0x5A);
+    Rng rng(11);
+    rng.fill(buf.data(), buf.size());
+    ctrl.write(0, ctrl.logical_blocks(), buf);         // full stripes
+    ctrl.write(1, 3, {buf.data(), 3 * kBlock});        // partial stripe
+    ctrl.read(0, ctrl.logical_blocks(), buf);          // fills the cache
+    ctrl.read(0, 4, {buf.data(), 4 * kBlock});         // cache hits
+  }
+
+  array.attach_metrics(reg);
+  migrator.attach_metrics(reg);
+  ctrl.attach_metrics(reg);
+  const std::string out = prom ? reg.to_prometheus() : reg.to_json();
+  std::fputs(out.c_str(), stdout);
+  if (!out.empty() && out.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
 int cmd_mttdl(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: c56cli mttdl <disks> <afr%%> <repair_h>\n");
@@ -234,7 +341,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: c56cli <layout|chains|analyze|convert|speedup|"
-                 "mttdl> ...\n");
+                 "mttdl|stats> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -246,6 +353,7 @@ int main(int argc, char** argv) {
   if (cmd == "convert") return cmd_convert(argc, argv);
   if (cmd == "speedup") return cmd_speedup(argc, argv);
   if (cmd == "mttdl") return cmd_mttdl(argc, argv);
+  if (cmd == "stats") return cmd_stats(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
