@@ -3,10 +3,115 @@
 // busiest disk's I/O count; Code 5-6 finishes in B*Te/3 at p=5 (the
 // Section V-A example) because only the new disk takes writes while
 // reads spread across the original spindles.
+//
+// Alongside the analytic table, a live single-worker Code 5-6
+// conversion runs under a MetricsSampler + MigrationMonitor and its
+// sampled progress-vs-time curve (watermark rows, EWMA rate, ETA)
+// lands in BENCH_fig16.json next to the analytic values.
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "analysis/report.hpp"
+#include "layout/raid.hpp"
+#include "migration/journal.hpp"
+#include "migration/monitor.hpp"
+#include "migration/online.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "util/rng.hpp"
+#include "xorblk/xor.hpp"
+
+namespace {
+
+void fill_raid5(c56::mig::DiskArray& array, int m, std::uint64_t seed) {
+  const std::size_t bs = array.block_bytes();
+  c56::Rng rng(seed);
+  std::vector<std::uint8_t> block(bs), parity(bs);
+  for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = c56::raid5_parity_disk(
+        c56::Raid5Flavor::kLeftAsymmetric, static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), bs);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      c56::xor_into(parity.data(), block.data(), bs);
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
+}
+
+std::int64_t metric_or(const c56::obs::Snapshot& s, const std::string& name,
+                       std::int64_t fallback) {
+  const c56::obs::Metric* m = s.find(name);
+  return m ? m->gauge : fallback;
+}
+
+/// Run one monitored conversion and append its sampled time series as
+/// a JSON array of {t_ms, rows_done, rows_total, rate, eta_ms}.
+void run_live_series(std::ostream& json, int workers, const char* id) {
+  using namespace c56;
+  obs::set_metrics_enabled(true);
+  obs::Registry reg;
+  obs::EventLog log;
+  log.set_stderr_echo(false);
+
+  const int p = 5, m = p - 1;
+  const std::int64_t groups = 512;
+  constexpr std::size_t kBlock = 1024;
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56u);
+  mig::MemoryCheckpointSink sink;
+  mig::OnlineMigrator migrator(array, p);
+  migrator.attach_journal(sink);
+  migrator.set_workers(workers);
+  migrator.attach_metrics(reg);
+  migrator.attach_events(log, id);
+
+  mig::MonitorConfig mcfg;
+  mcfg.migration_id = id;
+  mig::MigrationMonitor monitor(migrator, reg, log, mcfg);
+  obs::MetricsSampler sampler(reg);
+  sampler.add_probe([&monitor] { monitor.poll(); });
+
+  sampler.sample_once();  // t=0 baseline before the workers launch
+  migrator.start();
+  while (migrator.converting()) {
+    sampler.sample_once();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  migrator.finish();
+  sampler.sample_once();  // terminal sample: rows_done == rows_total
+
+  const std::vector<obs::MetricsSample> samples = sampler.samples();
+  const std::uint64_t t0 = samples.empty() ? 0 : samples.front().t_us;
+  json << "  \"live\": {\"p\": " << p << ", \"m\": " << m
+       << ", \"groups\": " << groups << ", \"workers\": " << workers
+       << ", \"block_bytes\": " << kBlock << ",\n   \"series\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const obs::Snapshot& s = samples[i].snap;
+    json << "    {\"t_ms\": "
+         << static_cast<double>(samples[i].t_us - t0) / 1000.0
+         << ", \"rows_done\": " << metric_or(s, "migration_rows_done", 0)
+         << ", \"rows_total\": " << metric_or(s, "migration_rows_total", 0)
+         << ", \"rate_rows_per_sec_x1000\": "
+         << metric_or(s, "migration_rate_rows_per_sec_x1000", 0)
+         << ", \"eta_ms\": " << metric_or(s, "migration_eta_ms", -1) << "}"
+         << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "   ]}\n";
+  std::printf("\nlive conversion (%d worker%s): %lld rows in %zu samples\n",
+              workers, workers == 1 ? "" : "s",
+              static_cast<long long>(monitor.rows_done()), samples.size());
+}
+
+}  // namespace
 
 int main() {
   const auto metric = [](const c56::mig::ConversionCosts& c) {
@@ -14,8 +119,9 @@ int main() {
   };
   std::cout << "Figure 16 -- conversion time, no load balancing "
                "(relative to B*Te == 100%)\n\n";
-  c56::ana::conversion_table(c56::ana::figure_conversion_set(false),
-                             "conversion time", metric, /*as_percent=*/true)
+  const auto specs = c56::ana::figure_conversion_set(false);
+  c56::ana::conversion_table(specs, "conversion time", metric,
+                             /*as_percent=*/true)
       .print(std::cout);
 
   std::cout << "\nTrend with increasing disks (Code 5-6 direct, NLB):\n\n";
@@ -24,5 +130,24 @@ int main() {
                              c56::mig::Approach::kDirect, false),
       "conversion time", metric, /*as_percent=*/true)
       .print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fig16_time_nlb\",\n  \"analytic\": [\n";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const c56::mig::ConversionCosts c = c56::mig::analyze(specs[i]);
+    json << "    {\"label\": \""
+         << c56::obs::detail::json_escape(specs[i].label())
+         << "\", \"time_pct\": " << c.time * 100.0 << "}"
+         << (i + 1 < specs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  run_live_series(json, /*workers=*/1, "fig16-nlb");
+  json << "}\n";
+
+  if (FILE* f = std::fopen("BENCH_fig16.json", "w")) {
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_fig16.json\n");
+  }
   return 0;
 }

@@ -1,10 +1,116 @@
 // Figure 17: conversion time with load balancing support
 // (B*Te == 100%). The dedicated parity columns rotate across all
 // spindles every stripe group, so each phase's time is total I/O / n.
+//
+// Alongside the analytic table, a live four-worker Code 5-6
+// conversion (the work-stealing analogue of the balanced schedule)
+// runs under a MetricsSampler + MigrationMonitor and its sampled
+// progress-vs-time curve lands in BENCH_fig17.json next to the
+// analytic values.
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "analysis/report.hpp"
+#include "layout/raid.hpp"
+#include "migration/journal.hpp"
+#include "migration/monitor.hpp"
+#include "migration/online.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "util/rng.hpp"
+#include "xorblk/xor.hpp"
+
+namespace {
+
+void fill_raid5(c56::mig::DiskArray& array, int m, std::uint64_t seed) {
+  const std::size_t bs = array.block_bytes();
+  c56::Rng rng(seed);
+  std::vector<std::uint8_t> block(bs), parity(bs);
+  for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = c56::raid5_parity_disk(
+        c56::Raid5Flavor::kLeftAsymmetric, static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), bs);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      c56::xor_into(parity.data(), block.data(), bs);
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
+}
+
+std::int64_t metric_or(const c56::obs::Snapshot& s, const std::string& name,
+                       std::int64_t fallback) {
+  const c56::obs::Metric* m = s.find(name);
+  return m ? m->gauge : fallback;
+}
+
+void run_live_series(std::ostream& json, int workers, const char* id) {
+  using namespace c56;
+  obs::set_metrics_enabled(true);
+  obs::Registry reg;
+  obs::EventLog log;
+  log.set_stderr_echo(false);
+
+  const int p = 5, m = p - 1;
+  const std::int64_t groups = 512;
+  constexpr std::size_t kBlock = 1024;
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56u);
+  mig::MemoryCheckpointSink sink;
+  mig::OnlineMigrator migrator(array, p);
+  migrator.attach_journal(sink);
+  migrator.set_workers(workers);
+  migrator.attach_metrics(reg);
+  migrator.attach_events(log, id);
+
+  mig::MonitorConfig mcfg;
+  mcfg.migration_id = id;
+  mig::MigrationMonitor monitor(migrator, reg, log, mcfg);
+  obs::MetricsSampler sampler(reg);
+  sampler.add_probe([&monitor] { monitor.poll(); });
+
+  sampler.sample_once();  // t=0 baseline before the workers launch
+  migrator.start();
+  while (migrator.converting()) {
+    sampler.sample_once();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  migrator.finish();
+  sampler.sample_once();  // terminal sample: rows_done == rows_total
+
+  const std::vector<obs::MetricsSample> samples = sampler.samples();
+  const std::uint64_t t0 = samples.empty() ? 0 : samples.front().t_us;
+  json << "  \"live\": {\"p\": " << p << ", \"m\": " << m
+       << ", \"groups\": " << groups << ", \"workers\": " << workers
+       << ", \"block_bytes\": " << kBlock << ",\n   \"series\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const obs::Snapshot& s = samples[i].snap;
+    json << "    {\"t_ms\": "
+         << static_cast<double>(samples[i].t_us - t0) / 1000.0
+         << ", \"rows_done\": " << metric_or(s, "migration_rows_done", 0)
+         << ", \"rows_total\": " << metric_or(s, "migration_rows_total", 0)
+         << ", \"rate_rows_per_sec_x1000\": "
+         << metric_or(s, "migration_rate_rows_per_sec_x1000", 0)
+         << ", \"eta_ms\": " << metric_or(s, "migration_eta_ms", -1)
+         << ", \"worker_imbalance_x1000\": "
+         << metric_or(s, "migration_worker_imbalance_x1000", 0) << "}"
+         << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  json << "   ]}\n";
+  std::printf("\nlive conversion (%d workers): %lld rows in %zu samples\n",
+              workers, static_cast<long long>(monitor.rows_done()),
+              samples.size());
+}
+
+}  // namespace
 
 int main() {
   const auto metric = [](const c56::mig::ConversionCosts& c) {
@@ -12,8 +118,9 @@ int main() {
   };
   std::cout << "Figure 17 -- conversion time, load balanced "
                "(relative to B*Te == 100%)\n\n";
-  c56::ana::conversion_table(c56::ana::figure_conversion_set(true),
-                             "conversion time", metric, /*as_percent=*/true)
+  const auto specs = c56::ana::figure_conversion_set(true);
+  c56::ana::conversion_table(specs, "conversion time", metric,
+                             /*as_percent=*/true)
       .print(std::cout);
 
   std::cout << "\nTrend with increasing disks (Code 5-6 direct, LB):\n\n";
@@ -22,5 +129,24 @@ int main() {
                              c56::mig::Approach::kDirect, true),
       "conversion time", metric, /*as_percent=*/true)
       .print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fig17_time_lb\",\n  \"analytic\": [\n";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const c56::mig::ConversionCosts c = c56::mig::analyze(specs[i]);
+    json << "    {\"label\": \""
+         << c56::obs::detail::json_escape(specs[i].label())
+         << "\", \"time_pct\": " << c.time * 100.0 << "}"
+         << (i + 1 < specs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  run_live_series(json, /*workers=*/4, "fig17-lb");
+  json << "}\n";
+
+  if (FILE* f = std::fopen("BENCH_fig17.json", "w")) {
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_fig17.json\n");
+  }
   return 0;
 }

@@ -284,6 +284,14 @@ void ArrayController::write(std::int64_t logical, std::int64_t count,
   const bool obs_on = obs::metrics_enabled();
   std::chrono::steady_clock::time_point t0;
   if (obs_on) t0 = std::chrono::steady_clock::now();
+  // Priced by the perf-smoke overhead gate: with a log attached but
+  // events disabled this is the layer's whole hot-path cost.
+  if (events_ && obs::events_enabled()) {
+    emit_event(obs::EventLevel::kDebug,
+               "ranged write: " + std::to_string(count) +
+                   " blocks at logical " + std::to_string(logical),
+               -1, "ranged_write");
+  }
   const auto per = static_cast<std::int64_t>(data_cells_.size());
   std::int64_t done = 0;
   while (done < count) {
@@ -637,6 +645,22 @@ void ArrayController::attach_metrics(obs::Registry& registry,
   });
 }
 
+void ArrayController::emit_event(obs::EventLevel level, std::string message,
+                                 int disk, const char* rate_key) const {
+  obs::EventLog* log = events_;
+  if (!log) return;
+  obs::Event ev;
+  ev.level = level;
+  ev.category = "controller";
+  ev.message = std::move(message);
+  ev.disk = disk;
+  if (rate_key) {
+    log->emit(std::move(ev), rate_key);
+  } else {
+    log->emit(std::move(ev));
+  }
+}
+
 void ArrayController::invalidate_recovery_state() {
   recipes_valid_ = false;
   invalidate_cache();
@@ -652,6 +676,11 @@ void ArrayController::fail_disk(int disk) {
   }
   failed_.insert(disk);
   invalidate_recovery_state();
+  emit_event(obs::EventLevel::kWarn,
+             "disk " + std::to_string(disk) +
+                 " failed; recovery recipes and cache invalidated (" +
+                 std::to_string(failed_.size()) + " concurrent)",
+             disk);
 }
 
 bool ArrayController::failed(int disk) const {
@@ -687,6 +716,10 @@ std::int64_t ArrayController::rebuild_disk(int disk) {
   // and rewrites the array underneath previously cached logical values
   // of this column — drop both.
   invalidate_recovery_state();
+  emit_event(obs::EventLevel::kInfo,
+             "disk " + std::to_string(disk) + " rebuilt: " +
+                 std::to_string(rebuilt) + " blocks reconstructed",
+             disk);
   return rebuilt;
 }
 

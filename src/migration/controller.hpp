@@ -46,6 +46,7 @@
 #include "codes/erasure_code.hpp"
 #include "migration/disk_array.hpp"
 #include "migration/stripe_cache.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace c56::mig {
@@ -107,6 +108,12 @@ class ArrayController {
   void attach_metrics(obs::Registry& registry,
                       const std::string& prefix = "controller");
   void detach_metrics() { metrics_handle_.remove(); }
+
+  /// Record structured events (disk failures, rebuilds, and — while
+  /// obs::events_enabled() — rate-limited ranged-I/O debug events) into
+  /// `log`, which is kept by reference and must outlive the controller.
+  void attach_events(obs::EventLog& log) { events_ = &log; }
+  void detach_events() { events_ = nullptr; }
 
   /// Failure management. At most two concurrent failures (the code's
   /// fault tolerance); fail_disk throws beyond that.
@@ -220,6 +227,12 @@ class ArrayController {
   obs::Histogram read_latency_us_;
   obs::Histogram write_latency_us_;
   // Declared last so the collector detaches before anything it reads.
+  /// No-op while no EventLog is attached; hot callers additionally
+  /// guard on events_ && obs::events_enabled() before building text.
+  void emit_event(obs::EventLevel level, std::string message, int disk = -1,
+                  const char* rate_key = nullptr) const;
+  obs::EventLog* events_ = nullptr;
+
   obs::CollectorHandle metrics_handle_;
 };
 

@@ -1,0 +1,459 @@
+#include "migration/monitor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+
+#include "obs/trace.hpp"
+#include "util/env.hpp"
+
+namespace c56::mig {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+MigrationMonitor::MigrationMonitor(OnlineMigrator& migrator,
+                                   obs::Registry& reg, obs::EventLog& events,
+                                   MonitorConfig cfg)
+    : mig_(migrator),
+      reg_(reg),
+      events_(events),
+      cfg_(std::move(cfg)),
+      g_rows_done_(reg.gauge("migration_rows_done")),
+      g_rows_total_(reg.gauge("migration_rows_total")),
+      g_rate_x1000_(reg.gauge("migration_rate_rows_per_sec_x1000")),
+      g_eta_ms_(reg.gauge("migration_eta_ms")),
+      g_imbalance_x1000_(reg.gauge("migration_worker_imbalance_x1000")),
+      g_stalled_(reg.gauge("migration_stalled")),
+      g_state_(reg.gauge("migration_state")),
+      c_stall_events_(reg.counter("migration_stall_events")),
+      rows_per_group_(migrator.code().p() - 1),
+      rows_total_v_(migrator.groups() * (migrator.code().p() - 1)) {
+  if (const auto v = util::env_int("C56_STALL_MS", 10, 600000)) {
+    cfg_.stall_timeout_ms = *v;
+  }
+  g_rows_total_.set(rows_total_v_);
+  g_eta_ms_.set(-1);
+  g_state_.set(static_cast<std::int64_t>(mig_.state()));
+}
+
+void MigrationMonitor::emit(obs::EventLevel level, std::string message) {
+  obs::Event ev;
+  ev.level = level;
+  ev.category = "migration";
+  ev.message = std::move(message);
+  ev.migration_id = cfg_.migration_id;
+  events_.emit(std::move(ev));
+}
+
+void MigrationMonitor::close_phase_locked(std::uint64_t t_us) {
+  if (!phases_.empty() && phases_.back().end_us == 0) {
+    phases_.back().end_us = t_us;
+  }
+}
+
+void MigrationMonitor::begin_phase(const std::string& name) {
+  const std::uint64_t t = now_us();
+  std::lock_guard lk(mu_);
+  close_phase_locked(t);
+  convert_phase_open_ = false;
+  phases_.push_back({name, t, 0});
+}
+
+void MigrationMonitor::end_phase() {
+  const std::uint64_t t = now_us();
+  std::lock_guard lk(mu_);
+  close_phase_locked(t);
+  convert_phase_open_ = false;
+}
+
+std::vector<PhaseRecord> MigrationMonitor::phases() const {
+  std::lock_guard lk(mu_);
+  return phases_;
+}
+
+void MigrationMonitor::poll() { poll_at(now_us()); }
+
+void MigrationMonitor::poll_at(std::uint64_t t_us) {
+  const MigrationState state = mig_.state();
+  const std::int64_t rows = mig_.groups_done() * rows_per_group_;
+  bool want_dump = false;
+  {
+    std::lock_guard lk(mu_);
+
+    if (state != last_state_) {
+      emit(obs::EventLevel::kInfo, std::string("state ") +
+                                       to_string(last_state_) + " -> " +
+                                       to_string(state));
+      if (state == MigrationState::kConverting) {
+        close_phase_locked(t_us);
+        phases_.push_back({"convert", t_us, 0});
+        convert_phase_open_ = true;
+      } else if (convert_phase_open_) {
+        close_phase_locked(t_us);
+        convert_phase_open_ = false;
+      }
+      if (state == MigrationState::kAborted) {
+        emit(obs::EventLevel::kError,
+             "migration aborted: " + mig_.abort_reason());
+        if (!cfg_.postmortem_path.empty() && !postmortem_written_) {
+          postmortem_written_ = true;
+          want_dump = true;
+        }
+      }
+      last_state_ = state;
+    }
+
+    if (!first_poll_done_) {
+      first_poll_done_ = true;
+      last_t_us_ = t_us;
+      last_rows_ = rows;
+      last_progress_t_us_ = t_us;
+    } else if (t_us > last_t_us_) {
+      if (rows > last_rows_) {
+        const double inst =
+            static_cast<double>(rows - last_rows_) /
+            (static_cast<double>(t_us - last_t_us_) / 1e6);
+        ewma_rate_ = ewma_rate_ < 0
+                         ? inst
+                         : cfg_.ewma_alpha * inst +
+                               (1.0 - cfg_.ewma_alpha) * ewma_rate_;
+        last_progress_t_us_ = t_us;
+        polls_since_progress_ = 0;
+        if (stalled_) {
+          stalled_ = false;
+          g_stalled_.set(0);
+          emit(obs::EventLevel::kInfo,
+               "conversion resumed: watermark moving again at row " +
+                   std::to_string(rows));
+        }
+      } else if (state == MigrationState::kConverting) {
+        ++polls_since_progress_;
+        const std::uint64_t frozen_us = t_us - last_progress_t_us_;
+        if (!stalled_ && polls_since_progress_ >= cfg_.stall_min_polls &&
+            frozen_us >=
+                static_cast<std::uint64_t>(cfg_.stall_timeout_ms) * 1000) {
+          stalled_ = true;
+          g_stalled_.set(1);
+          c_stall_events_.inc();
+          emit(obs::EventLevel::kWarn,
+               "conversion stalled: watermark frozen at row " +
+                   std::to_string(rows) + "/" +
+                   std::to_string(rows_total_v_) + " for " +
+                   std::to_string(frozen_us / 1000) + " ms");
+        }
+      }
+      last_t_us_ = t_us;
+      last_rows_ = rows;
+    }
+
+    g_rows_done_.set(rows);
+    g_state_.set(static_cast<std::int64_t>(state));
+    g_rate_x1000_.set(
+        ewma_rate_ < 0 ? 0 : static_cast<std::int64_t>(ewma_rate_ * 1000.0));
+    if (state == MigrationState::kDone || rows >= rows_total_v_) {
+      g_eta_ms_.set(0);
+    } else if (ewma_rate_ > 0) {
+      g_eta_ms_.set(static_cast<std::int64_t>(
+          static_cast<double>(rows_total_v_ - rows) / ewma_rate_ * 1000.0));
+    } else {
+      g_eta_ms_.set(-1);
+    }
+
+    if (obs::metrics_enabled()) {
+      const int n = mig_.workers();
+      std::uint64_t sum = 0, mx = 0;
+      for (int w = 0; w < n; ++w) {
+        const std::uint64_t r = mig_.worker_rows(w);
+        sum += r;
+        mx = std::max(mx, r);
+      }
+      if (sum > 0 && n > 0) {
+        const double mean = static_cast<double>(sum) / n;
+        g_imbalance_x1000_.set(
+            static_cast<std::int64_t>(static_cast<double>(mx) / mean *
+                                      1000.0));
+      }
+    }
+  }
+  if (want_dump) {
+    if (write_postmortem(cfg_.postmortem_path)) {
+      emit(obs::EventLevel::kInfo,
+           "post-mortem bundle written to " + cfg_.postmortem_path);
+    } else {
+      emit(obs::EventLevel::kWarn,
+           "failed to write post-mortem bundle to " + cfg_.postmortem_path);
+    }
+  }
+}
+
+bool MigrationMonitor::stalled() const {
+  std::lock_guard lk(mu_);
+  return stalled_;
+}
+
+double MigrationMonitor::rate_rows_per_sec() const {
+  std::lock_guard lk(mu_);
+  return ewma_rate_ < 0 ? 0.0 : ewma_rate_;
+}
+
+double MigrationMonitor::eta_seconds() const {
+  const std::int64_t rows = mig_.groups_done() * rows_per_group_;
+  const MigrationState state = mig_.state();
+  std::lock_guard lk(mu_);
+  if (state == MigrationState::kDone || rows >= rows_total_v_) return 0.0;
+  if (ewma_rate_ <= 0) return -1.0;
+  return static_cast<double>(rows_total_v_ - rows) / ewma_rate_;
+}
+
+std::int64_t MigrationMonitor::rows_done() const {
+  return mig_.groups_done() * rows_per_group_;
+}
+
+std::int64_t MigrationMonitor::rows_total() const { return rows_total_v_; }
+
+std::string MigrationMonitor::status_line() const {
+  const MigrationState state = mig_.state();
+  const std::int64_t rows = mig_.groups_done() * rows_per_group_;
+  std::lock_guard lk(mu_);
+  std::ostringstream out;
+  out << "[" << cfg_.migration_id << "] state=" << to_string(state)
+      << " rows=" << rows << "/" << rows_total_v_;
+  if (ewma_rate_ > 0) {
+    out << " rate=" << fmt_double(ewma_rate_) << " rows/s";
+    if (rows < rows_total_v_ && state != MigrationState::kDone) {
+      out << " eta=" << fmt_double(static_cast<double>(rows_total_v_ - rows) /
+                                   ewma_rate_)
+          << "s";
+    }
+  }
+  if (stalled_) out << " STALLED";
+  if (!phases_.empty() && phases_.back().end_us == 0) {
+    out << " phase=" << phases_.back().name;
+  }
+  return out.str();
+}
+
+std::string MigrationMonitor::postmortem_json() const {
+  const MigrationState state = mig_.state();
+  const std::int64_t groups_done = mig_.groups_done();
+  const std::string reason = mig_.abort_reason();
+  const std::vector<obs::Event> events = events_.tail(cfg_.postmortem_events);
+  const std::string trace = obs::TraceRecorder::global().to_json();
+  const std::string registry = reg_.to_json();
+
+  std::ostringstream out;
+  out << "{\n  \"bundle\": \"c56-migration-postmortem\",\n";
+  out << "  \"migration_id\": \""
+      << obs::detail::json_escape(cfg_.migration_id) << "\",\n";
+  out << "  \"state\": \"" << to_string(state) << "\",\n";
+  out << "  \"abort_reason\": \"" << obs::detail::json_escape(reason)
+      << "\",\n";
+  out << "  \"groups_done\": " << groups_done
+      << ",\n  \"groups\": " << mig_.groups() << ",\n";
+  out << "  \"rows_done\": " << groups_done * rows_per_group_
+      << ",\n  \"rows_total\": " << rows_total_v_ << ",\n";
+  {
+    std::lock_guard lk(mu_);
+    out << "  \"stalled\": " << (stalled_ ? "true" : "false") << ",\n";
+    out << "  \"rate_rows_per_sec\": "
+        << fmt_double(ewma_rate_ < 0 ? 0.0 : ewma_rate_) << ",\n";
+    out << "  \"phases\": [";
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      const PhaseRecord& ph = phases_[i];
+      const std::uint64_t end = ph.end_us;
+      out << (i ? ", " : "") << "{\"name\": \""
+          << obs::detail::json_escape(ph.name)
+          << "\", \"start_us\": " << ph.start_us << ", \"end_us\": " << end;
+      if (end != 0) out << ", \"dur_us\": " << end - ph.start_us;
+      out << "}";
+    }
+    out << "],\n";
+  }
+  out << "  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << obs::to_json(events[i]);
+  }
+  out << "\n  ],\n";
+  out << "  \"trace\": " << trace << ",\n";
+  out << "  \"registry\": " << registry << "}\n";
+  return out.str();
+}
+
+bool MigrationMonitor::write_postmortem(const std::string& path) const {
+  const std::string doc = postmortem_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// ---------------------------------------------------------------------
+// summarize_postmortem
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Minimal extractors for the bundle format postmortem_json() produces.
+// They scan for the first `"key": ` occurrence, which is unambiguous
+// in our own documents (keys are emitted once, before any free text
+// that could echo them).
+
+std::optional<std::string> extract_string(const std::string& doc,
+                                          const std::string& key,
+                                          std::size_t from = 0) {
+  const std::string pat = "\"" + key + "\": \"";
+  const auto pos = doc.find(pat, from);
+  if (pos == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = pos + pat.size(); i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (c == '\\' && i + 1 < doc.size()) {
+      const char n = doc[++i];
+      out += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<long long> extract_int(const std::string& doc,
+                                     const std::string& key,
+                                     std::size_t from = 0) {
+  const std::string pat = "\"" + key + "\": ";
+  const auto pos = doc.find(pat, from);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtoll(doc.c_str() + pos + pat.size(), nullptr, 10);
+}
+
+std::string fmt_ms(std::uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string summarize_postmortem(const std::string& bundle_json) {
+  const std::string& doc = bundle_json;
+  if (doc.find("\"bundle\": \"c56-migration-postmortem\"") ==
+      std::string::npos) {
+    return "error: not a c56 migration post-mortem bundle";
+  }
+  std::ostringstream out;
+  const std::string id = extract_string(doc, "migration_id").value_or("?");
+  const std::string state = extract_string(doc, "state").value_or("?");
+  out << "post-mortem: migration '" << id << "' — state " << state << "\n";
+  if (const auto reason = extract_string(doc, "abort_reason");
+      reason && !reason->empty()) {
+    out << "  abort reason: " << *reason << "\n";
+  }
+  const long long gd = extract_int(doc, "groups_done").value_or(0);
+  const long long g = extract_int(doc, "groups").value_or(0);
+  const long long rd = extract_int(doc, "rows_done").value_or(0);
+  const long long rt = extract_int(doc, "rows_total").value_or(0);
+  out << "  watermark: " << gd << "/" << g << " groups (" << rd << "/" << rt
+      << " rows)\n";
+  if (doc.find("\"stalled\": true") != std::string::npos) {
+    out << "  stalled: yes\n";
+  }
+
+  // Phase timeline: walk the objects inside the "phases" array.
+  const auto phases_pos = doc.find("\"phases\": [");
+  const auto events_pos = doc.find("\"events\": [");
+  if (phases_pos != std::string::npos && events_pos != std::string::npos) {
+    out << "  phases:\n";
+    std::size_t cursor = phases_pos;
+    bool any = false;
+    for (;;) {
+      const auto name = extract_string(doc, "name", cursor);
+      const auto name_at = doc.find("\"name\": \"", cursor);
+      if (!name || name_at == std::string::npos || name_at >= events_pos) {
+        break;
+      }
+      const auto start = extract_int(doc, "start_us", name_at).value_or(0);
+      const auto end = extract_int(doc, "end_us", name_at).value_or(0);
+      out << "    " << *name << "  ";
+      if (end > 0) {
+        out << fmt_ms(static_cast<std::uint64_t>(end - start));
+      } else {
+        out << "(open)";
+      }
+      out << "\n";
+      any = true;
+      cursor = name_at + 1;
+    }
+    if (!any) out << "    (none recorded)\n";
+  }
+
+  // Disk fault counters from the embedded registry snapshot.
+  const auto registry_pos = doc.find("\"registry\":");
+  if (registry_pos != std::string::npos) {
+    const auto se = extract_int(doc, "disk_array_sector_errors", registry_pos);
+    const auto tw = extract_int(doc, "disk_array_torn_writes", registry_pos);
+    const auto df = extract_int(doc, "disk_array_disk_failures", registry_pos);
+    const auto fd = extract_int(doc, "disk_array_failed_disks", registry_pos);
+    if (se || tw || df || fd) {
+      out << "  disk faults: sector_errors=" << se.value_or(0)
+          << " torn_writes=" << tw.value_or(0)
+          << " disk_failures=" << df.value_or(0)
+          << " failed_disks=" << fd.value_or(0) << "\n";
+    } else {
+      out << "  disk faults: (not recorded — no disk_array metrics in "
+             "bundle)\n";
+    }
+  }
+
+  // Tail of warn/error events.
+  if (events_pos != std::string::npos) {
+    const auto events_end =
+        doc.find("\"trace\":", events_pos);  // next top-level key
+    std::vector<std::string> bad;
+    std::size_t cursor = events_pos;
+    for (;;) {
+      const auto at = doc.find("{\"t_us\": ", cursor);
+      if (at == std::string::npos ||
+          (events_end != std::string::npos && at >= events_end)) {
+        break;
+      }
+      const auto level = extract_string(doc, "level", at).value_or("");
+      if (level == "warn" || level == "error") {
+        const auto cat = extract_string(doc, "category", at).value_or("?");
+        const auto msg = extract_string(doc, "message", at).value_or("?");
+        bad.push_back("[" + level + "] " + cat + ": " + msg);
+      }
+      cursor = at + 1;
+    }
+    if (!bad.empty()) {
+      const std::size_t show = std::min<std::size_t>(bad.size(), 5);
+      out << "  last " << show << " of " << bad.size()
+          << " warn/error events:\n";
+      for (std::size_t i = bad.size() - show; i < bad.size(); ++i) {
+        out << "    " << bad[i] << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace c56::mig

@@ -1,0 +1,155 @@
+#pragma once
+// Migration health monitoring: live rate/ETA, stall detection, phase
+// timelines, and a post-mortem flight recorder.
+//
+// A MigrationMonitor sits beside an OnlineMigrator and derives
+// operator-facing signals from its authoritative progress counters
+// (the contiguous-prefix watermark groups_done(), the state machine,
+// per-worker row counters). Each poll() — typically driven as a
+// MetricsSampler probe, or manually with an explicit clock through
+// poll_at() — refreshes a family of owned gauges:
+//
+//   migration_rows_done / migration_rows_total   watermark in rows
+//   migration_rate_rows_per_sec_x1000            EWMA conversion rate
+//   migration_eta_ms                             remaining / rate
+//                                                (-1 while unknown)
+//   migration_worker_imbalance_x1000             max/mean worker rows
+//   migration_stalled                            0/1
+//   migration_state                              MigrationState ordinal
+//
+// and emits lifecycle events (state transitions, stall begin/clear,
+// abort reason) into an EventLog with the migration id attached.
+//
+// Stall rule: the watermark has not moved for >= stall_min_polls
+// consecutive polls spanning >= stall_timeout_ms while the migration
+// is kConverting. Both thresholds must hold, so a clean fast
+// conversion (few polls, all making progress) and a slow-interval
+// sampler (one poll per tick) cannot false-positive.
+//
+// Phases: begin_phase()/end_phase() bracket explicit stages (plan,
+// journal-replay, verify, rebuild); the kConverting state contributes
+// an automatic "convert" phase. The resulting timeline rides along in
+// the post-mortem bundle.
+//
+// Flight recorder: postmortem_json() serializes migration identity,
+// state, abort reason, watermark, phase timeline, the tail of the
+// event ring, the trace-span ring, and a full registry snapshot into
+// one JSON bundle. When a postmortem path is configured, a poll that
+// observes the kAborted state writes the bundle there automatically.
+// summarize_postmortem() renders a bundle back into the human summary
+// `c56cli postmortem` prints.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "migration/online.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace c56::mig {
+
+struct MonitorConfig {
+  std::string migration_id = "migration";
+  /// EWMA smoothing for the conversion rate (weight of the newest
+  /// inter-poll rate observation).
+  double ewma_alpha = 0.3;
+  /// Stall rule thresholds (see header comment). stall_timeout_ms
+  /// defaults from C56_STALL_MS when set (clamped to [10, 600000]).
+  int stall_min_polls = 3;
+  std::int64_t stall_timeout_ms = 1000;
+  /// Events recorded in the post-mortem bundle (newest N).
+  std::size_t postmortem_events = 256;
+  /// When non-empty, a poll observing kAborted writes the bundle here
+  /// (once per monitor lifetime).
+  std::string postmortem_path;
+};
+
+struct PhaseRecord {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;  // 0 while the phase is still open
+};
+
+class MigrationMonitor {
+ public:
+  /// All references must outlive the monitor. Gauges are created in
+  /// `reg` immediately; nothing else happens until poll().
+  MigrationMonitor(OnlineMigrator& migrator, obs::Registry& reg,
+                   obs::EventLog& events, MonitorConfig cfg = {});
+
+  MigrationMonitor(const MigrationMonitor&) = delete;
+  MigrationMonitor& operator=(const MigrationMonitor&) = delete;
+
+  /// Open a named phase (closing any still-open one).
+  void begin_phase(const std::string& name);
+  void end_phase();
+  std::vector<PhaseRecord> phases() const;
+
+  /// Refresh gauges / detectors from the migrator's current position.
+  /// Safe from any thread; typically a MetricsSampler probe.
+  void poll();
+  /// poll() with an explicit steady-clock timestamp — the
+  /// deterministic seam the stall tests drive.
+  void poll_at(std::uint64_t t_us);
+
+  bool stalled() const;
+  double rate_rows_per_sec() const;
+  /// Seconds until the watermark reaches rows_total at the EWMA rate;
+  /// 0 when done, -1 while unknown (no rate observed yet).
+  double eta_seconds() const;
+  std::int64_t rows_done() const;
+  std::int64_t rows_total() const;
+
+  /// One human-readable status line for a live display.
+  std::string status_line() const;
+
+  /// The flight-recorder bundle (see header comment).
+  std::string postmortem_json() const;
+  /// Write the bundle to `path`; false on I/O failure.
+  bool write_postmortem(const std::string& path) const;
+
+  const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  void emit(obs::EventLevel level, std::string message);
+  void close_phase_locked(std::uint64_t t_us);
+
+  OnlineMigrator& mig_;
+  obs::Registry& reg_;
+  obs::EventLog& events_;
+  MonitorConfig cfg_;
+
+  // Owned gauges (stable addresses for the registry's lifetime).
+  obs::Gauge& g_rows_done_;
+  obs::Gauge& g_rows_total_;
+  obs::Gauge& g_rate_x1000_;
+  obs::Gauge& g_eta_ms_;
+  obs::Gauge& g_imbalance_x1000_;
+  obs::Gauge& g_stalled_;
+  obs::Gauge& g_state_;
+  obs::Counter& c_stall_events_;
+
+  mutable std::mutex mu_;  // poll bookkeeping + phases (leaf lock)
+  const std::int64_t rows_per_group_;
+  const std::int64_t rows_total_v_;
+  bool first_poll_done_ = false;
+  std::uint64_t last_t_us_ = 0;
+  std::int64_t last_rows_ = 0;
+  std::uint64_t last_progress_t_us_ = 0;
+  int polls_since_progress_ = 0;
+  double ewma_rate_ = -1.0;  // rows/sec; <0 = no observation yet
+  bool stalled_ = false;
+  MigrationState last_state_ = MigrationState::kIdle;
+  bool convert_phase_open_ = false;
+  std::vector<PhaseRecord> phases_;
+  mutable bool postmortem_written_ = false;
+};
+
+/// Human summary of a postmortem_json() bundle: migration id, terminal
+/// state, abort reason, watermark, phase timeline, disk fault counters
+/// (when the bundle's registry snapshot carries disk_array_* metrics),
+/// and the last few warn/error events.
+std::string summarize_postmortem(const std::string& bundle_json);
+
+}  // namespace c56::mig

@@ -135,6 +135,10 @@ void OnlineMigrator::start() {
     journal_->record(0, 0);
   }
   launch_locked();
+  emit_event(obs::EventLevel::kInfo,
+             "conversion started: " + std::to_string(groups_) +
+                 " groups, " + std::to_string(threads_.size()) + " workers",
+             -1, -1, new_disk_);
 }
 
 void OnlineMigrator::resume() {
@@ -169,6 +173,8 @@ void OnlineMigrator::resume() {
   // group must match a recomputation (a torn new-disk write shows up
   // here), and so must the partial rows of the current group. Rewind to
   // the first stale position; regeneration is idempotent.
+  const std::int64_t journalled_g = g;
+  const int journalled_rows = rows;
   if (g > 0 && g <= groups_) {
     const int stale = first_stale_diag(g - 1, p - 1);
     if (stale < p - 1) {
@@ -178,6 +184,15 @@ void OnlineMigrator::resume() {
   }
   if (g < groups_ && rows > 0) {
     rows = first_stale_diag(g, rows);
+  }
+  if (g != journalled_g || rows != journalled_rows) {
+    emit_event(obs::EventLevel::kWarn,
+               "journal recovery rewound watermark from group " +
+                   std::to_string(journalled_g) + " row " +
+                   std::to_string(journalled_rows) + " to group " +
+                   std::to_string(g) + " row " + std::to_string(rows) +
+                   ": stale diagonal parity detected",
+               g);
   }
   start_group_ = g;
   start_row_ = g < groups_ ? rows : 0;
@@ -189,9 +204,16 @@ void OnlineMigrator::resume() {
   }
   if (g >= groups_) {
     state_ = MigrationState::kDone;
+    emit_event(obs::EventLevel::kInfo,
+               "resume: journal shows conversion already complete");
     return;
   }
   launch_locked();
+  emit_event(obs::EventLevel::kInfo,
+             "conversion resumed from journal: group " + std::to_string(g) +
+                 " row " + std::to_string(start_row_) + " of " +
+                 std::to_string(groups_) + " groups",
+             g);
 }
 
 void OnlineMigrator::launch_locked() {
@@ -241,6 +263,7 @@ std::string OnlineMigrator::abort_reason() const {
 void OnlineMigrator::abort_locked(std::string reason) {
   state_ = MigrationState::kAborted;
   abort_reason_ = std::move(reason);
+  emit_event(obs::EventLevel::kError, "conversion aborted: " + abort_reason_);
 }
 
 void OnlineMigrator::abort_from_io(std::string reason) {
@@ -288,6 +311,12 @@ IoResult OnlineMigrator::read_source(int disk, std::int64_t block,
     stats_.retries += c.retries;
     stats_.backoff_us += c.backoff_us;
     if (reconstructed) ++stats_.reconstructed_reads;
+  }
+  if (reconstructed && events_) {
+    emit_event(obs::EventLevel::kWarn,
+               std::string("read served by parity reconstruction (") +
+                   (conversion ? "conversion" : "application") + " flow)",
+               -1, -1, disk, block, "reconstructed_read");
   }
   return r;
 }
@@ -402,6 +431,11 @@ void OnlineMigrator::note_progress(std::int64_t group, int rows) {
             wm < groups_ ? rows_done_[wm].load(std::memory_order_acquire) : 0;
         journal_->record(wm, r);
       }
+      if (events_ && obs::events_enabled()) {
+        emit_event(obs::EventLevel::kDebug,
+                   "watermark advanced to group " + std::to_string(wm), wm,
+                   -1, -1, -1, "watermark");
+      }
     }
   }
 }
@@ -454,6 +488,13 @@ void OnlineMigrator::worker_entry(int w) {
     if (state_ == MigrationState::kConverting) {
       state_ = groups_done_.load() >= groups_ ? MigrationState::kDone
                                               : MigrationState::kStopped;
+      emit_event(obs::EventLevel::kInfo,
+                 state_ == MigrationState::kDone
+                     ? "conversion complete: all " + std::to_string(groups_) +
+                           " groups generated"
+                     : "conversion stopped at watermark group " +
+                           std::to_string(groups_done_.load()),
+                 -1, w);
     }
     running_.store(false);
   }
@@ -520,8 +561,17 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
     }
   }
   if (!parity_updated) {
-    std::lock_guard sk(stats_mu_);
-    ++stats_.degraded_writes;
+    {
+      std::lock_guard sk(stats_mu_);
+      ++stats_.degraded_writes;
+    }
+    if (events_) {
+      emit_event(obs::EventLevel::kWarn,
+                 "degraded write: horizontal parity not updated for logical "
+                 "block " +
+                     std::to_string(logical),
+                 l.group, -1, hpar_disk, l.block, "degraded_write");
+    }
   }
 
   // Data block itself.
@@ -613,6 +663,38 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
 OnlineStats OnlineMigrator::stats() const {
   std::lock_guard sk(stats_mu_);
   return stats_;
+}
+
+void OnlineMigrator::attach_events(obs::EventLog& log,
+                                   std::string migration_id) {
+  std::lock_guard lk(mu_);
+  if (state_ == MigrationState::kConverting) {
+    throw std::logic_error("attach_events: conversion already running");
+  }
+  events_ = &log;
+  migration_id_ = std::move(migration_id);
+}
+
+void OnlineMigrator::emit_event(obs::EventLevel level, std::string message,
+                                std::int64_t group, int worker, int disk,
+                                std::int64_t block,
+                                const char* rate_key) const {
+  obs::EventLog* log = events_;
+  if (!log) return;
+  obs::Event ev;
+  ev.level = level;
+  ev.category = "migration";
+  ev.message = std::move(message);
+  ev.migration_id = migration_id_;
+  ev.group = group;
+  ev.worker = worker;
+  ev.disk = disk;
+  ev.block = block;
+  if (rate_key) {
+    log->emit(std::move(ev), rate_key);
+  } else {
+    log->emit(std::move(ev));
+  }
 }
 
 void OnlineMigrator::attach_metrics(obs::Registry& registry,

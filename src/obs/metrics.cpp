@@ -61,6 +61,10 @@ HistogramSnapshot Histogram::snapshot() const {
 
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0.0;
+  // One sample: every quantile IS that sample. The bucket walk below
+  // would interpolate to the log2 bucket's interior (e.g. a single
+  // observe(1000) landing in [512, 1023] reads back as 767.5).
+  if (count == 1) return static_cast<double>(max);
   const double target = q * static_cast<double>(count);
   std::uint64_t seen = 0;
   for (const auto& [ub, n] : buckets) {
@@ -293,9 +297,11 @@ std::string base_name(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+}  // namespace
+
 /// JSON string escaping: label blocks embed quotes (disk="0"), and a
 /// hostile name must not be able to break the document.
-std::string json_escape(const std::string& s) {
+std::string detail::json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -317,14 +323,12 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 std::string to_json(const Snapshot& snap) {
   std::ostringstream out;
   out << "{\n  \"metrics\": {\n";
   for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
     const Metric& m = snap.metrics[i];
-    out << "    \"" << json_escape(m.name) << "\": ";
+    out << "    \"" << detail::json_escape(m.name) << "\": ";
     switch (m.kind) {
       case MetricKind::kCounter:
         out << m.counter;

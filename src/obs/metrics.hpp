@@ -42,6 +42,10 @@ namespace c56::obs {
 
 namespace detail {
 inline std::atomic<bool> g_metrics_enabled{false};
+
+/// JSON string escaping shared by every obs serializer (metric names
+/// embed quoted label blocks; event messages are arbitrary text).
+std::string json_escape(const std::string& s);
 }  // namespace detail
 
 /// The one hot-path branch: true when optional observations (latency

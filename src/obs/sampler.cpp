@@ -1,0 +1,203 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace c56::obs {
+
+namespace {
+
+constexpr std::int64_t kMinIntervalMs = 1;
+constexpr std::int64_t kMaxIntervalMs = 60000;
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// One compact time-series line per tick.
+std::string sample_to_jsonl(const MetricsSample& s) {
+  std::ostringstream out;
+  out << "{\"t_us\": " << s.t_us << ", \"metrics\": {";
+  for (std::size_t i = 0; i < s.snap.metrics.size(); ++i) {
+    const Metric& m = s.snap.metrics[i];
+    out << (i ? ", " : "") << "\"" << detail::json_escape(m.name) << "\": ";
+    switch (m.kind) {
+      case MetricKind::kCounter: out << m.counter; break;
+      case MetricKind::kGauge: out << m.gauge; break;
+      case MetricKind::kHistogram:
+        out << "{\"count\": " << m.hist.count << ", \"sum\": " << m.hist.sum
+            << ", \"max\": " << m.hist.max
+            << ", \"p50\": " << fmt_double(m.hist.p50)
+            << ", \"p95\": " << fmt_double(m.hist.p95)
+            << ", \"p99\": " << fmt_double(m.hist.p99) << "}";
+        break;
+    }
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(Registry& reg) : reg_(reg) {
+  if (const auto v =
+          util::env_int("C56_SAMPLE_MS", kMinIntervalMs, kMaxIntervalMs)) {
+    interval_ms_ = *v;
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+MetricsSampler::~MetricsSampler() {
+  stop();
+  std::lock_guard lk(mu_);
+  if (sink_) std::fclose(sink_);
+}
+
+void MetricsSampler::set_interval_ms(std::int64_t ms) {
+  std::lock_guard lk(mu_);
+  if (thread_active_) return;
+  interval_ms_ = std::clamp(ms, kMinIntervalMs, kMaxIntervalMs);
+}
+
+void MetricsSampler::set_capacity(std::size_t n) {
+  std::lock_guard lk(mu_);
+  if (thread_active_ || n == 0) return;
+  capacity_ = n;
+  if (ring_.size() > capacity_) {
+    // Keep the newest samples, restore oldest-first ring order.
+    std::rotate(ring_.begin(), ring_.begin() + static_cast<long>(next_),
+                ring_.end());
+    ring_.erase(ring_.begin(),
+                ring_.end() - static_cast<long>(capacity_));
+    next_ = 0;
+  }
+}
+
+bool MetricsSampler::set_jsonl_path(const std::string& path) {
+  std::lock_guard lk(mu_);
+  if (sink_) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+  if (path.empty()) return true;
+  sink_ = std::fopen(path.c_str(), "w");
+  return sink_ != nullptr;
+}
+
+void MetricsSampler::add_probe(std::function<void()> probe) {
+  std::lock_guard lk(mu_);
+  if (thread_active_) return;
+  probes_.push_back(std::move(probe));
+}
+
+void MetricsSampler::start() {
+  std::lock_guard lk(mu_);
+  if (thread_active_) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+  thread_active_ = true;
+}
+
+void MetricsSampler::stop() {
+  std::thread t;
+  {
+    std::lock_guard lk(mu_);
+    if (!thread_active_) return;
+    stop_requested_ = true;
+    t = std::move(thread_);
+    thread_active_ = false;
+  }
+  cv_.notify_all();
+  t.join();
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard lk(mu_);
+  return thread_active_;
+}
+
+void MetricsSampler::sample_once() { tick(); }
+
+void MetricsSampler::run() {
+  for (;;) {
+    tick();
+    std::unique_lock lk(mu_);
+    const auto interval = std::chrono::milliseconds(interval_ms_);
+    if (cv_.wait_for(lk, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+  }
+}
+
+void MetricsSampler::tick() {
+  // Probes and the registry snapshot run outside mu_: probes take
+  // subsystem locks (monitor -> migrator) and must not see the
+  // sampler's own lock held around them.
+  std::vector<std::function<void()>> probes;
+  {
+    std::lock_guard lk(mu_);
+    probes = probes_;
+  }
+  for (const auto& p : probes) p();
+  MetricsSample s;
+  s.snap = reg_.snapshot();
+  s.t_us = now_us();
+  std::lock_guard lk(mu_);
+  if (sink_) {
+    const std::string line = sample_to_jsonl(s);
+    std::fprintf(sink_, "%s\n", line.c_str());
+    std::fflush(sink_);
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(s));
+  } else {
+    ring_[next_] = std::move(s);
+    ++overwritten_;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++ticks_;
+}
+
+std::int64_t MetricsSampler::interval_ms() const {
+  std::lock_guard lk(mu_);
+  return interval_ms_;
+}
+
+std::vector<MetricsSample> MetricsSampler::samples() const {
+  std::lock_guard lk(mu_);
+  std::vector<MetricsSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t MetricsSampler::ticks() const {
+  std::lock_guard lk(mu_);
+  return ticks_;
+}
+
+std::uint64_t MetricsSampler::overwritten() const {
+  std::lock_guard lk(mu_);
+  return overwritten_;
+}
+
+}  // namespace c56::obs

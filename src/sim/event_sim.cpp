@@ -128,12 +128,30 @@ SimResult ArraySimulator::run(const Trace& trace) {
       down[d] = 1;
       result.max_concurrent_failures =
           std::max(result.max_concurrent_failures, ++concurrent);
+      emit_disk_event(e.disk, e.at_ms, /*fail=*/true, concurrent);
     } else if (e.kind == DiskEventKind::kDiskRepair && down[d]) {
       down[d] = 0;
       --concurrent;
+      emit_disk_event(e.disk, e.at_ms, /*fail=*/false, concurrent);
     }
   }
   return result;
+}
+
+void ArraySimulator::emit_disk_event(int disk, double at_ms, bool fail,
+                                     int concurrent) {
+  obs::EventLog* log = events_;
+  if (!log || !obs::events_enabled()) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "simulated disk %s at t=%.3f ms (%d concurrently failed)",
+                fail ? "failure" : "repair", at_ms, concurrent);
+  obs::Event ev;
+  ev.level = obs::EventLevel::kInfo;
+  ev.category = "sim";
+  ev.message = buf;
+  ev.disk = disk;
+  log->emit(std::move(ev), fail ? "sim_disk_fail" : "sim_disk_repair");
 }
 
 void ArraySimulator::attach_metrics(obs::Registry& registry,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "sim/disk_model.hpp"
 #include "sim/trace.hpp"
@@ -67,8 +68,16 @@ class ArraySimulator {
                       const std::string& prefix = "sim");
   void detach_metrics() { metrics_handle_.remove(); }
 
+  /// Record DiskFail/DiskRepair transitions of each run() as info
+  /// events (category "sim", simulated time in the message) into `log`,
+  /// kept by reference.
+  void attach_events(obs::EventLog& log) { events_ = &log; }
+
  private:
+  void emit_disk_event(int disk, double at_ms, bool fail, int concurrent);
+
   std::vector<DiskModel> models_;
+  obs::EventLog* events_ = nullptr;
 
   obs::Histogram request_latency_us_;
   obs::Histogram queue_depth_;

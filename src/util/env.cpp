@@ -1,5 +1,6 @@
 #include "util/env.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -9,12 +10,24 @@
 
 namespace c56::util {
 
+namespace {
+std::atomic<EnvWarnSink> g_warn_sink{nullptr};
+}  // namespace
+
+void set_env_warn_sink(EnvWarnSink sink) noexcept {
+  g_warn_sink.store(sink, std::memory_order_release);
+}
+
 void warn_env_once(const std::string& name, const std::string& msg) {
   static std::mutex mu;
   static std::set<std::string>* warned = new std::set<std::string>();
   {
     std::lock_guard lk(mu);
     if (!warned->insert(name).second) return;
+  }
+  if (const EnvWarnSink sink = g_warn_sink.load(std::memory_order_acquire)) {
+    sink(name.c_str(), msg.c_str());
+    return;
   }
   std::fprintf(stderr, "c56: %s: %s\n", name.c_str(), msg.c_str());
 }

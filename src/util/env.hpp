@@ -25,6 +25,18 @@ std::optional<long long> env_int(const char* name, long long lo,
 /// Emit "c56: $name: $msg" to stderr, at most once per `name` for the
 /// lifetime of the process (shared by env_int and by knobs with
 /// non-integer domains, e.g. C56_XOR_KERNEL's unknown-name warning).
+/// When a sink is installed (set_env_warn_sink) delivery goes through
+/// it instead of stderr; the once-per-name dedup happens here either
+/// way.
 void warn_env_once(const std::string& name, const std::string& msg);
+
+/// Process-wide replacement sink for warn_env_once. The observability
+/// layer installs one so knob warnings become structured events (util
+/// cannot depend on obs, so the inversion happens through this
+/// pointer). nullptr restores the default stderr delivery. The sink
+/// must be callable for the rest of the process lifetime and must not
+/// call back into warn_env_once.
+using EnvWarnSink = void (*)(const char* name, const char* msg);
+void set_env_warn_sink(EnvWarnSink sink) noexcept;
 
 }  // namespace c56::util

@@ -101,6 +101,30 @@ TEST(Histogram, Log2BucketsAndQuantiles) {
   EXPECT_LE(s.p99, static_cast<double>(s.max));
 }
 
+TEST(Histogram, SingleSampleQuantilesAreExact) {
+  // One sample: every quantile IS that sample. Before the fix the
+  // bucket walk interpolated to the log2 bucket's interior — a single
+  // observe(1000) (bucket [512, 1023]) read back as 767.5.
+  obs::Histogram h;
+  h.observe(1000);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 1000.0);
+  EXPECT_DOUBLE_EQ(s.p95, 1000.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1000.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.01), 1000.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(Histogram, SingleZeroSampleQuantilesAreZero) {
+  obs::Histogram h;
+  h.observe(0);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST(Histogram, ResetClearsEverything) {
   obs::Histogram h;
   h.observe(100);
@@ -232,6 +256,51 @@ TEST(Exporters, PrometheusRendersHistogramAsSummary) {
   EXPECT_NE(prom.find("lat_us_sum 36\n"), std::string::npos);
   EXPECT_NE(prom.find("lat_us_count 8\n"), std::string::npos);
   EXPECT_NE(prom.find("lat_us_max 8\n"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusGoldenGrammar) {
+  // Golden rendering of a small mixed registry: counters and gauges one
+  // line each under one # TYPE per family (labels stripped), histograms
+  // as a summary block with quantile labels. Locks the exact grammar so
+  // scrapers can rely on it.
+  obs::Registry reg;
+  reg.counter("io_reads{disk=\"0\"}").inc(3);
+  reg.counter("io_reads{disk=\"1\"}").inc(5);
+  reg.gauge("watermark").set(-1);
+  reg.histogram("lat_us").observe(7);
+  const std::string want =
+      "# TYPE io_reads counter\n"
+      "io_reads{disk=\"0\"} 3\n"
+      "io_reads{disk=\"1\"} 5\n"
+      "# TYPE lat_us summary\n"
+      "lat_us{quantile=\"0.5\"} 7\n"
+      "lat_us{quantile=\"0.95\"} 7\n"
+      "lat_us{quantile=\"0.99\"} 7\n"
+      "lat_us_sum 7\n"
+      "lat_us_count 1\n"
+      "lat_us_max 7\n"
+      "# TYPE watermark gauge\n"
+      "watermark -1\n";
+  EXPECT_EQ(reg.to_prometheus(), want);
+}
+
+TEST(Exporters, JsonAndPrometheusRenderIdenticalValues) {
+  obs::Registry reg;
+  reg.counter("events_total{kind=\"warn\"}").inc(9);
+  reg.counter("plain_counter").inc(4);
+  reg.gauge("eta_ms").set(1234);
+  const obs::Snapshot snap = reg.snapshot();
+  const std::string json = obs::to_json(snap);
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(json.find("\"events_total{kind=\\\"warn\\\"}\": 9"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(prom.find("events_total{kind=\"warn\"} 9\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(json.find("\"plain_counter\": 4"), std::string::npos);
+  EXPECT_NE(prom.find("\nplain_counter 4\n"), std::string::npos);
+  EXPECT_NE(json.find("\"eta_ms\": 1234"), std::string::npos);
+  EXPECT_NE(prom.find("\neta_ms 1234\n"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

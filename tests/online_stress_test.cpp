@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
@@ -18,8 +19,13 @@
 #include "layout/raid.hpp"
 #include "migration/controller.hpp"
 #include "migration/disk_array.hpp"
+#include "migration/journal.hpp"
+#include "migration/monitor.hpp"
 #include "migration/online.hpp"
 #include "migration/stripe_cache.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "util/rng.hpp"
 #include "xorblk/xor.hpp"
 
@@ -129,6 +135,80 @@ TEST(OnlineStress, WritersRaceConversionP11) {
   for (int writers = 1; writers <= 4; ++writers) {
     run_stress(11, writers, 0xC56'000B + static_cast<std::uint64_t>(writers));
   }
+}
+
+TEST(OnlineStress, ObservabilityRacesEightWorkerConversion) {
+  // The full observability stack live under real concurrency: eight
+  // conversion workers emitting events and bumping registry counters, a
+  // background MetricsSampler thread snapshotting the registry and
+  // polling the MigrationMonitor as a probe, application I/O racing the
+  // watermark, and the main thread reading snapshots/tails/status
+  // lines. This is the TSan target for the event ring + sampler +
+  // monitor locking discipline (CI reruns it under -DC56_SANITIZE=tsan
+  // with C56_CONVERT_WORKERS=8).
+  obs::set_metrics_enabled(true);
+  obs::set_events_enabled(true);
+  // Registry and log outlive everything attached to them.
+  obs::Registry reg;
+  obs::EventLog log(256);
+  log.set_stderr_echo(false);
+  const int p = 5, m = p - 1;
+  const std::int64_t groups = 24;
+  DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56'0B57);
+
+  OnlineMigrator mig(array, p);
+  MemoryCheckpointSink sink;
+  mig.attach_journal(sink);
+  mig.set_workers(8);
+
+  log.attach_metrics(reg);
+  array.attach_metrics(reg);
+  mig.attach_metrics(reg);
+  mig.attach_events(log, "obs-stress");
+
+  MonitorConfig cfg;
+  cfg.migration_id = "obs-stress";
+  MigrationMonitor monitor(mig, reg, log, cfg);
+  obs::MetricsSampler sampler(reg);
+  sampler.set_interval_ms(1);
+  sampler.add_probe([&monitor] { monitor.poll(); });
+  sampler.start();
+
+  mig.start();
+  sampler.sample_once();  // at least one sample even on a fast box
+  {
+    Rng rng(0x0B5'57A7);
+    Buffer buf(kBlock);
+    const auto logical = static_cast<std::uint64_t>(mig.logical_blocks());
+    while (mig.converting()) {
+      const auto l = static_cast<std::int64_t>(rng.next_below(logical));
+      if (rng.next_below(3) != 0) {
+        rng.fill(buf.data(), kBlock);
+        ASSERT_TRUE(mig.write_block(l, buf.span()).ok());
+      } else {
+        ASSERT_TRUE(mig.read_block(l, buf.span()).ok());
+      }
+      (void)reg.snapshot();
+      (void)log.tail(4);
+      (void)monitor.status_line();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  mig.finish();
+  sampler.stop();
+  monitor.poll();
+
+  EXPECT_EQ(mig.state(), MigrationState::kDone);
+  EXPECT_TRUE(mig.verify_raid6());
+  EXPECT_FALSE(monitor.stalled());
+  EXPECT_GE(sampler.samples().size(), 1u);
+  const obs::Snapshot snap = reg.snapshot();
+  const obs::Metric* rows = snap.find("migration_rows_done");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->gauge, groups * (p - 1));
+  obs::set_events_enabled(false);
+  obs::set_metrics_enabled(false);
 }
 
 TEST(OnlineStress, StripeCacheConcurrentWritersReadersInvalidator) {

@@ -10,18 +10,29 @@
 //   c56cli stats   [--prom]                    scripted migrate-under-faults
 //                                              run, metrics dump (JSON; --prom
 //                                              for Prometheus text)
+//   c56cli monitor [--groups N] [--workers N] [--ms N] [--faults]
+//                  [--bundle PATH] [--series PATH]
+//                                              live migration with sampler,
+//                                              rate/ETA/stall monitoring, and
+//                                              a post-mortem bundle on abort
+//   c56cli postmortem <bundle>                 human summary of a post-mortem
+//                                              bundle written by monitor (or
+//                                              by MigrationMonitor anywhere)
 //
 // Codes: code56 rdp evenodd xcode pcode hcode hdp
 // Approaches: via-raid0 via-raid4 direct
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/reliability.hpp"
@@ -32,9 +43,12 @@
 #include "layout/raid.hpp"
 #include "migration/controller.hpp"
 #include "migration/journal.hpp"
+#include "migration/monitor.hpp"
 #include "migration/online.hpp"
 #include "migration/trace_gen.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/event_sim.hpp"
 #include "util/rng.hpp"
 #include "xorblk/pool.hpp"
@@ -75,6 +89,34 @@ long long flag_value(int argc, char** argv, const char* flag,
     if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
   }
   return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* flag,
+                        const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Fill `array` (m disks) as a valid left-asymmetric RAID-5 with
+/// seeded pseudo-random data.
+void fill_raid5(mig::DiskArray& array, int m, std::uint64_t seed) {
+  const std::size_t bs = array.block_bytes();
+  Rng rng(seed);
+  std::vector<std::uint8_t> block(bs), parity(bs);
+  for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = raid5_parity_disk(Raid5Flavor::kLeftAsymmetric,
+                                        static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), bs);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      xor_into(parity.data(), block.data(), bs);
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
 }
 
 char cell_glyph(const ErasureCode& code, Cell c) {
@@ -241,22 +283,7 @@ int cmd_stats(int argc, char** argv) {
   constexpr std::size_t kBlock = 512;
 
   mig::DiskArray array(m, groups * (p - 1), kBlock);
-  {  // valid left-asymmetric RAID-5 with pseudo-random data
-    Rng rng(0xC56u);
-    std::vector<std::uint8_t> block(kBlock), parity(kBlock);
-    for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
-      std::fill(parity.begin(), parity.end(), 0);
-      const int pdisk = raid5_parity_disk(Raid5Flavor::kLeftAsymmetric,
-                                          static_cast<int>(row % m), m);
-      for (int d = 0; d < m; ++d) {
-        if (d == pdisk) continue;
-        rng.fill(block.data(), kBlock);
-        std::ranges::copy(block, array.raw_block(d, row).begin());
-        xor_into(parity.data(), block.data(), kBlock);
-      }
-      std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
-    }
-  }
+  fill_raid5(array, m, 0xC56u);
 
   mig::MemoryCheckpointSink sink;
   mig::OnlineMigrator migrator(array, p);
@@ -266,6 +293,14 @@ int cmd_stats(int argc, char** argv) {
   retry.max_attempts = 6;
   retry.backoff_us = 1;
   migrator.set_retry_policy(retry);
+
+  // Route migration events through the global log so events_emitted /
+  // events_dropped show up in the dump; quiet on stderr because the
+  // seeded fault plan makes reconstruction warnings routine here.
+  obs::EventLog& log = obs::EventLog::global();
+  log.set_stderr_echo(false);
+  log.attach_metrics(reg);
+  migrator.attach_events(log, "stats");
 
   mig::FaultPlan plan;
   plan.sector_error_rate = 0.02;
@@ -317,6 +352,137 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+int cmd_monitor(int argc, char** argv) {
+  const auto groups = flag_value(argc, argv, "--groups", 256);
+  const int workers =
+      static_cast<int>(flag_value(argc, argv, "--workers", 2));
+  const long long sample_ms = flag_value(argc, argv, "--ms", 20);
+  const bool faults = has_flag(argc, argv, "--faults");
+  const std::string bundle =
+      flag_string(argc, argv, "--bundle", "postmortem.json");
+  const std::string series = flag_string(argc, argv, "--series", "");
+  if (groups <= 0 || workers <= 0 || sample_ms <= 0) {
+    std::fprintf(stderr, "monitor: --groups/--workers/--ms must be > 0\n");
+    return 2;
+  }
+
+  obs::set_metrics_enabled(true);
+  obs::set_events_enabled(true);
+  obs::Registry& reg = obs::Registry::global();
+  obs::EventLog& log = obs::EventLog::global();
+  log.attach_metrics(reg);
+  // A fault plan makes per-block reconstruction warnings routine; keep
+  // the live console readable (drops are counted in events_dropped).
+  log.set_rate_limit(8);
+
+  const int p = 5, m = p - 1;
+  constexpr std::size_t kBlock = 512;
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56u);
+
+  mig::MemoryCheckpointSink sink;
+  mig::OnlineMigrator migrator(array, p);
+  migrator.attach_journal(sink);
+  migrator.set_workers(workers);
+  mig::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_us = 1;
+  migrator.set_retry_policy(retry);
+  migrator.attach_events(log, "cli-monitor");
+  array.attach_metrics(reg);
+  migrator.attach_metrics(reg);
+
+  if (faults) {
+    // Two mid-stream disk deaths exceed the source RAID-5's fault
+    // tolerance, so the conversion aborts and the monitor dumps the
+    // post-mortem bundle.
+    mig::FaultPlan plan;
+    plan.sector_error_rate = 0.01;
+    plan.torn_write_rate = 0.01;
+    plan.disk_failures.push_back({.disk = 1, .after_ios = 150});
+    plan.disk_failures.push_back({.disk = 2, .after_ios = 400});
+    array.set_fault_plan(plan);
+  }
+
+  mig::MonitorConfig mcfg;
+  mcfg.migration_id = "cli-monitor";
+  mcfg.postmortem_path = bundle;
+  mig::MigrationMonitor monitor(migrator, reg, log, mcfg);
+
+  obs::MetricsSampler sampler(reg);
+  sampler.set_interval_ms(static_cast<std::int64_t>(sample_ms));
+  if (!series.empty() && !sampler.set_jsonl_path(series)) {
+    std::fprintf(stderr, "monitor: cannot open --series file '%s'\n",
+                 series.c_str());
+    return 2;
+  }
+  sampler.add_probe([&monitor] { monitor.poll(); });
+  sampler.start();
+
+  monitor.begin_phase("convert+app-io");
+  migrator.start();
+  {  // application I/O racing the conversion, as in `stats`
+    Rng rng(7);
+    std::vector<std::uint8_t> buf(kBlock, 0xAB);
+    const auto blocks = static_cast<std::uint64_t>(migrator.logical_blocks());
+    for (int i = 0; i < 400 && migrator.converting(); ++i) {
+      const auto l = static_cast<std::int64_t>(rng.next_below(blocks));
+      if (i % 3 == 0) {
+        migrator.write_block(l, buf);
+      } else {
+        migrator.read_block(l, buf);
+      }
+      if (i % 50 == 0) {
+        std::printf("%s\n", monitor.status_line().c_str());
+      }
+    }
+  }
+  migrator.finish();
+  monitor.end_phase();
+  sampler.stop();
+  monitor.poll();  // final poll: terminal state + abort dump if missed
+
+  std::printf("%s\n", monitor.status_line().c_str());
+  std::printf("samples=%llu events_emitted=%llu events_dropped=%llu\n",
+              static_cast<unsigned long long>(sampler.ticks()),
+              static_cast<unsigned long long>(log.emitted()),
+              static_cast<unsigned long long>(log.dropped()));
+  if (!series.empty()) {
+    std::printf("time series written to %s\n", series.c_str());
+  }
+
+  if (migrator.state() == mig::MigrationState::kAborted) {
+    std::printf("post-mortem bundle written to %s"
+                " (inspect with: c56cli postmortem %s)\n",
+                bundle.c_str(), bundle.c_str());
+    return 1;
+  }
+  // Clean finish: still drop a bundle so the operator can inspect the
+  // timeline of a healthy run with the same tooling.
+  if (monitor.write_postmortem(bundle)) {
+    std::printf("run bundle written to %s\n", bundle.c_str());
+  }
+  return 0;
+}
+
+int cmd_postmortem(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: c56cli postmortem <bundle.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "postmortem: cannot read '%s'\n", argv[0]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string summary = mig::summarize_postmortem(buf.str());
+  std::fputs(summary.c_str(), stdout);
+  if (!summary.empty() && summary.back() != '\n') std::fputc('\n', stdout);
+  return summary.rfind("error:", 0) == 0 ? 1 : 0;
+}
+
 int cmd_mttdl(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: c56cli mttdl <disks> <afr%%> <repair_h>\n");
@@ -341,7 +507,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: c56cli <layout|chains|analyze|convert|speedup|"
-                 "mttdl|stats> ...\n");
+                 "mttdl|stats|monitor|postmortem> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -354,6 +520,8 @@ int main(int argc, char** argv) {
   if (cmd == "speedup") return cmd_speedup(argc, argv);
   if (cmd == "mttdl") return cmd_mttdl(argc, argv);
   if (cmd == "stats") return cmd_stats(argc, argv);
+  if (cmd == "monitor") return cmd_monitor(argc, argv);
+  if (cmd == "postmortem") return cmd_postmortem(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
