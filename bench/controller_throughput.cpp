@@ -20,10 +20,11 @@
 // cache off: the batched path must not be slower in memory AND must be
 // >= 3x on the device model. A second gate prices the observability
 // layer in its shipped-default state: the same workload with a metrics
-// registry AND an event log attached (both disabled) and a metrics
-// sampler constructed but never started must stay within 2% of a
-// detached controller — the whole layer is supposed to cost one
-// predictable branch. The process exits non-zero if either gate fails
+// registry AND an event log attached (both disabled), a metrics
+// sampler constructed but never started, and an idle scrubber
+// (constructed, metrics/events attached, never started) must stay
+// within 2% of a detached controller — the whole layer is supposed to
+// cost one predictable branch, and an idle scrubber nothing at all. The process exits non-zero if either gate fails
 // — CI runs this with --smoke as a perf regression tripwire. The
 // report embeds a registry snapshot of the attached controller under
 // "metrics_snapshot".
@@ -42,6 +43,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "scrub/scrubber.hpp"
 #include "sim/disk_model.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -218,6 +220,7 @@ OverheadReport measure_metrics_overhead(std::int64_t stripes, int groups,
   c56::mig::DiskArray array(disks, bpd, kBlock);
   c56::mig::ArrayController ctrl(array, std::move(code));
   c56::obs::MetricsSampler sampler(reg);  // never started: inert
+  c56::scrub::Scrubber scrubber(array, ctrl);  // never started: inert
   c56::obs::set_metrics_enabled(false);
   c56::obs::set_events_enabled(false);
 
@@ -228,13 +231,17 @@ OverheadReport measure_metrics_overhead(std::int64_t stripes, int groups,
     ctrl.attach_metrics(reg);
     array.attach_metrics(reg);
     log.attach_metrics(reg);
+    scrubber.attach_metrics(reg);
     ctrl.attach_events(log);
+    scrubber.attach_events(log);
   };
   const auto detach = [&] {
     ctrl.detach_metrics();
     array.detach_metrics();
     log.detach_metrics();
+    scrubber.detach_metrics();
     ctrl.detach_events();
+    scrubber.detach_events();
   };
 
   const std::int64_t logical = ctrl.logical_blocks();

@@ -1,0 +1,253 @@
+// Scrub risk: Monte-Carlo silent-corruption survival under an online
+// scrubber. Each grid point crosses a per-write bit-rot rate with a
+// scrub cadence (a repairing pass every K application writes; 0 = no
+// scrubbing until the end of the run) and a migration phase:
+//
+//   * "during"  -- the fault plan is armed while the RAID-5 -> RAID-6
+//     conversion is still running, so rot lands on both sides of the
+//     watermark and the scrubber works from watermark-aware trust
+//     domains (horizontal-only groups can detect but not locate).
+//   * "after"   -- the conversion completes clean first, then rot is
+//     armed; every group has both parity families.
+//
+// Per trial the bench replays W random single-block application writes
+// against an OnlineMigrator, tracking a model of every logical block it
+// wrote. Write-time rot events are timestamped from the DiskArray's
+// silent-corruption counter; a scrub pass that reports dirty stripes
+// "detects" the outstanding plants, giving a detection latency in
+// application writes. After the run the migration is finished, up to
+// three cleanup passes repair what they can, and the trial is scored:
+//
+//   repair%   cells repaired / corruptions planted
+//   latency   mean writes between a plant and the first dirty pass
+//   loss      fraction of trials where some modeled block reads back
+//             wrong after cleanup (bake-in and ambiguity both land
+//             here -- this is the silent-data-loss probability)
+//   verify    fraction of trials where the final array verifies RAID-6
+//
+// Results print as a table and land in BENCH_scrub.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "layout/raid.hpp"
+#include "migration/disk_array.hpp"
+#include "migration/online.hpp"
+#include "scrub/scrubber.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "xorblk/xor.hpp"
+
+namespace {
+
+constexpr std::size_t kBlockBytes = 64;
+constexpr int kP = 5;
+constexpr std::int64_t kGroups = 8;
+
+void fill_raid5(c56::mig::DiskArray& array, int m, std::uint64_t seed) {
+  c56::Rng rng(seed);
+  std::vector<std::uint8_t> block(kBlockBytes), parity(kBlockBytes);
+  for (std::int64_t row = 0; row < array.blocks_per_disk(); ++row) {
+    std::fill(parity.begin(), parity.end(), 0);
+    const int pdisk = c56::raid5_parity_disk(
+        c56::Raid5Flavor::kLeftAsymmetric, static_cast<int>(row % m), m);
+    for (int d = 0; d < m; ++d) {
+      if (d == pdisk) continue;
+      rng.fill(block.data(), kBlockBytes);
+      std::ranges::copy(block, array.raw_block(d, row).begin());
+      c56::xor_into(parity.data(), block.data(), kBlockBytes);
+    }
+    std::ranges::copy(parity, array.raw_block(pdisk, row).begin());
+  }
+}
+
+struct GridPoint {
+  double rot_rate;
+  int scrub_every;  // app writes per repairing pass; 0 = end-of-run only
+  bool during_migration;
+};
+
+struct GridResult {
+  std::uint64_t planted = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t ambiguous = 0;
+  std::uint64_t repair_failures = 0;
+  double latency_sum = 0.0;  // writes from plant to first dirty pass
+  std::int64_t latency_n = 0;
+  int loss_trials = 0;    // >= 1 modeled block read back wrong
+  int verify_ok = 0;      // final verify_raid6() passed
+  int trials = 0;
+};
+
+void run_trial(const GridPoint& g, std::uint64_t seed, int writes,
+               GridResult& out) {
+  const int m = kP - 1;
+  c56::mig::DiskArray array(m, kGroups * (kP - 1), kBlockBytes);
+  fill_raid5(array, m, seed);
+  c56::mig::OnlineMigrator mig(array, kP);
+  c56::mig::FaultPlan plan;
+  plan.bit_rot_rate = g.rot_rate;
+  plan.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+
+  if (g.during_migration) {
+    array.set_fault_plan(plan);
+    mig.set_workers(1);
+    mig.start();
+  } else {
+    mig.start();
+    mig.finish();
+    array.set_fault_plan(plan);
+  }
+
+  c56::scrub::Scrubber scrubber(array, mig);
+  scrubber.set_repair(true);
+  scrubber.set_rate(0);  // unpaced: the bench measures risk, not I/O cost
+
+  c56::Rng rng(seed ^ 0x5C12BULL);
+  const std::int64_t logical = mig.logical_blocks();
+  std::map<std::int64_t, std::vector<std::uint8_t>> model;
+  std::vector<std::uint8_t> buf(kBlockBytes);
+  std::uint64_t seen_corruptions = array.silent_corruptions();
+  std::vector<int> pending;  // write index of each undetected plant
+
+  for (int i = 0; i < writes; ++i) {
+    const auto l = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(logical)));
+    rng.fill(buf.data(), buf.size());
+    (void)mig.write_block(l, buf);
+    model[l] = buf;
+    const std::uint64_t now = array.silent_corruptions();
+    for (; seen_corruptions < now; ++seen_corruptions) pending.push_back(i);
+
+    if (g.scrub_every > 0 && (i + 1) % g.scrub_every == 0) {
+      const auto rep = scrubber.run_pass();
+      if (!pending.empty()) {
+        if (rep.dirty > 0) {
+          for (int at : pending) {
+            out.latency_sum += i - at;
+            ++out.latency_n;
+          }
+        }
+        // dirty == 0 with plants outstanding means a later write
+        // overwrote the rot (self-healed) or the group was deferred;
+        // either way those plants leave the latency sample.
+        pending.clear();
+      }
+    }
+  }
+
+  mig.finish();
+  for (int pass = 0; pass < 3; ++pass) {
+    if (scrubber.run_pass().clean()) break;
+  }
+
+  bool lost = false;
+  for (const auto& [l, want] : model) {
+    if (mig.read_block(l, buf).status != c56::mig::IoStatus::kOk ||
+        std::memcmp(buf.data(), want.data(), kBlockBytes) != 0) {
+      lost = true;
+      break;
+    }
+  }
+
+  const auto stats = scrubber.stats();
+  out.planted += array.silent_corruptions();
+  out.repaired += stats.cells_repaired;
+  out.ambiguous += stats.ambiguous;
+  out.repair_failures += stats.repair_failures;
+  out.loss_trials += lost ? 1 : 0;
+  out.verify_ok += mig.verify_raid6() ? 1 : 0;
+  ++out.trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int trials = argc > 1 ? std::atoi(argv[1]) : 6;
+  int writes = argc > 2 ? std::atoi(argv[2]) : 400;
+  if (trials < 1) trials = 1;
+  if (writes < 1) writes = 1;
+
+  const std::vector<GridPoint> grid = [] {
+    std::vector<GridPoint> g;
+    for (double rot : {2e-3, 2e-2}) {
+      for (int every : {0, 100, 25}) {
+        for (bool during : {false, true}) {
+          g.push_back({rot, every, during});
+        }
+      }
+    }
+    return g;
+  }();
+
+  std::vector<GridResult> results(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (int t = 0; t < trials; ++t) {
+      run_trial(grid[i], 0xC56'5C12 + i * 1000 + t, writes, results[i]);
+    }
+  }
+
+  std::printf("scrub risk: p=%d groups=%lld, %d trials x %d writes\n\n", kP,
+              static_cast<long long>(kGroups), trials, writes);
+  c56::TextTable t({"rot/write", "scrub every", "phase", "planted", "repaired",
+                    "repair", "latency (wr)", "P(loss)", "verify ok"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& g = grid[i];
+    const auto& r = results[i];
+    t.add_row({c56::TextTable::fmt(g.rot_rate, 3),
+               g.scrub_every == 0 ? "off" : std::to_string(g.scrub_every),
+               g.during_migration ? "during" : "after",
+               std::to_string(r.planted), std::to_string(r.repaired),
+               r.planted > 0
+                   ? c56::TextTable::pct(static_cast<double>(r.repaired) /
+                                         static_cast<double>(r.planted))
+                   : "-",
+               r.latency_n > 0
+                   ? c56::TextTable::fmt(r.latency_sum / r.latency_n, 1)
+                   : "-",
+               c56::TextTable::pct(static_cast<double>(r.loss_trials) /
+                                   r.trials),
+               c56::TextTable::pct(static_cast<double>(r.verify_ok) /
+                                   r.trials)});
+  }
+  std::ostringstream table;
+  t.print(table);
+  std::fputs(table.str().c_str(), stdout);
+
+  std::ostringstream json;
+  json << "{\n  \"p\": " << kP << ",\n  \"groups\": " << kGroups
+       << ",\n  \"block_bytes\": " << kBlockBytes
+       << ",\n  \"trials\": " << trials << ",\n  \"writes\": " << writes
+       << ",\n  \"grid\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& g = grid[i];
+    const auto& r = results[i];
+    json << "    {\"bit_rot_rate\": " << g.rot_rate
+         << ", \"scrub_every_writes\": " << g.scrub_every
+         << ", \"phase\": \"" << (g.during_migration ? "during" : "after")
+         << "\", \"planted\": " << r.planted
+         << ", \"repaired\": " << r.repaired
+         << ", \"ambiguous\": " << r.ambiguous
+         << ", \"repair_failures\": " << r.repair_failures
+         << ", \"mean_detection_latency_writes\": "
+         << (r.latency_n > 0 ? r.latency_sum / r.latency_n : -1.0)
+         << ", \"loss_probability\": "
+         << static_cast<double>(r.loss_trials) / r.trials
+         << ", \"verify_ok_fraction\": "
+         << static_cast<double>(r.verify_ok) / r.trials << "}"
+         << (i + 1 == grid.size() ? "\n" : ",\n");
+  }
+  json << "  ]\n}\n";
+  if (FILE* f = std::fopen("BENCH_scrub.json", "w")) {
+    std::fputs(json.str().c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scrub.json\n");
+  }
+  return 0;
+}

@@ -200,6 +200,7 @@ void ArrayController::reconstruct_cell(std::int64_t stripe, Cell c,
 void ArrayController::read(std::int64_t logical, std::span<std::uint8_t> out) {
   const Locus l = locate(logical);
   if (cache_ && cache_->lookup(l.stripe, flat_of(l.cell), out)) return;
+  std::lock_guard sl(stripe_lock(l.stripe));
   read_cell(l.stripe, l.cell, out);
   cache_fill(l.stripe, l.cell, out);
 }
@@ -208,6 +209,7 @@ void ArrayController::write(std::int64_t logical,
                             std::span<const std::uint8_t> in) {
   const Locus l = locate(logical);
   const std::size_t bs = array_.block_bytes();
+  std::lock_guard sl(stripe_lock(l.stripe));
   PooledBuffer old(bs), delta(bs), par(bs);
   if (!(cache_ && cache_->lookup(l.stripe, flat_of(l.cell), old.span()))) {
     read_cell(l.stripe, l.cell, old.span());  // reconstructs when degraded
@@ -258,6 +260,7 @@ void ArrayController::read(std::int64_t logical, std::int64_t count,
     const auto i0 = static_cast<int>(l % per);
     const auto n =
         static_cast<int>(std::min<std::int64_t>(per - i0, count - done));
+    std::lock_guard sl(stripe_lock(l / per));
     read_run(l / per, i0, n,
              out.subspan(static_cast<std::size_t>(done) * bs,
                          static_cast<std::size_t>(n) * bs));
@@ -301,6 +304,7 @@ void ArrayController::write(std::int64_t logical, std::int64_t count,
         static_cast<int>(std::min<std::int64_t>(per - i0, count - done));
     const auto chunk = in.subspan(static_cast<std::size_t>(done) * bs,
                                   static_cast<std::size_t>(n) * bs);
+    std::lock_guard sl(stripe_lock(l / per));
     if (i0 == 0 && n == per) {
       if (obs_on) full_stripe_writes_.inc();
       write_full_stripe(l / per, chunk);
@@ -698,6 +702,7 @@ std::int64_t ArrayController::rebuild_disk(int disk) {
   PooledBuffer colbuf(static_cast<std::size_t>(rows) * bs);
   std::vector<CellWrite> wr;
   for (std::int64_t s = 0; s < stripes_; ++s) {
+    std::lock_guard sl(stripe_lock(s));
     wr.clear();
     for (int r = 0; r < rows; ++r) {
       const Cell c{r, col};
@@ -765,11 +770,18 @@ std::vector<std::int64_t> ArrayController::scrub() {
   const std::size_t bs = array_.block_bytes();
   PooledBuffer buf(static_cast<std::size_t>(code_->cell_count()) * bs);
   for (std::int64_t s = 0; s < stripes_; ++s) {
+    std::lock_guard sl(stripe_lock(s));
     read_stripe_into(s, buf.span());
     StripeView v(buf.span(), code_->rows(), code_->cols(), bs);
     if (!code_->verify(v)) bad.push_back(s);
   }
   return bad;
+}
+
+void ArrayController::with_stripe_lock(std::int64_t stripe,
+                                       const std::function<void()>& fn) const {
+  std::lock_guard sl(stripe_lock(stripe));
+  fn();
 }
 
 }  // namespace c56::mig

@@ -37,8 +37,11 @@
 // writers to the same DiskArray (e.g. an online-migration hand-off)
 // must call invalidate_cache().
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <set>
 #include <vector>
@@ -125,7 +128,17 @@ class ArrayController {
   std::int64_t rebuild_disk(int disk);
 
   /// Verify every stripe; returns the indices of inconsistent stripes.
+  /// Each stripe is verified under its stripe lock (the same gate every
+  /// writer path takes), so a stripe written mid-verify can no longer
+  /// report a false positive.
   std::vector<std::int64_t> scrub();
+
+  /// Run `fn` with stripe `stripe` locked against this controller's
+  /// writers — the scrubber's coordination hook (scrub() and the write
+  /// paths take the same lock internally). `fn` must not call back into
+  /// this controller's locked I/O entry points.
+  void with_stripe_lock(std::int64_t stripe,
+                        const std::function<void()>& fn) const;
 
   /// Cells of one stripe as a buffer + view. Contract: blocks are read
   /// *as stored* through the raw (uncounted, fault-free) backdoor —
@@ -192,6 +205,16 @@ class ArrayController {
                   std::span<const std::uint8_t> v) {
     if (cache_) cache_->fill(stripe, flat_of(c), v);
   }
+
+  /// Stripe-level writer/scrub exclusion, striped over a fixed pool of
+  /// mutexes (two stripes may alias one mutex; callers only ever hold
+  /// one stripe lock at a time, so aliasing cannot deadlock). Leaf-ish:
+  /// only DiskArray's internal fault_mu_ ever nests inside it.
+  std::mutex& stripe_lock(std::int64_t s) const {
+    return stripe_locks_[static_cast<std::size_t>(s) % kStripeLockStripes];
+  }
+  static constexpr std::size_t kStripeLockStripes = 64;
+  mutable std::array<std::mutex, kStripeLockStripes> stripe_locks_;
 
   DiskArray& array_;
   std::unique_ptr<ErasureCode> code_;

@@ -101,8 +101,14 @@ void DiskArray::set_fault_plan(const FaultPlan& plan) {
     check(b.disk, b.block);
     bad_blocks_.emplace_back(b.disk, b.block);
   }
+  rot_blocks_.clear();
+  for (const FaultPlan::SilentCorruption& s : plan.silent_corruptions) {
+    check(s.disk, s.block);
+    rot_blocks_.emplace_back(s.disk, s.block);
+  }
   sector_error_rate_ = plan.sector_error_rate;
   torn_write_rate_ = plan.torn_write_rate;
+  bit_rot_rate_ = plan.bit_rot_rate;
   rng_ = Rng(plan.seed);
   injecting_ = true;
 }
@@ -149,6 +155,31 @@ bool DiskArray::is_bad(int disk, std::int64_t block) const {
 void DiskArray::clear_bad(int disk, std::int64_t block) {
   std::lock_guard lk(fault_mu_);
   std::erase(bad_blocks_, std::make_pair(disk, block));
+}
+
+std::optional<std::pair<std::size_t, std::uint8_t>> DiskArray::rot_for_write(
+    int disk, std::int64_t block) {
+  std::lock_guard lk(fault_mu_);
+  const bool scripted =
+      std::erase(rot_blocks_, std::make_pair(disk, block)) > 0;
+  if (!scripted &&
+      (bit_rot_rate_ <= 0.0 || rng_.next_double() >= bit_rot_rate_)) {
+    return std::nullopt;
+  }
+  return std::make_pair(
+      static_cast<std::size_t>(
+          rng_.next_below(static_cast<std::uint64_t>(block_bytes_))),
+      static_cast<std::uint8_t>(1u << rng_.next_below(8)));
+}
+
+void DiskArray::corrupt_block(int disk, std::int64_t block, std::size_t offset,
+                              std::uint8_t mask) {
+  check(disk, block);
+  if (offset >= block_bytes_ || mask == 0) {
+    throw std::invalid_argument("DiskArray::corrupt_block: bad flip");
+  }
+  raw_block(disk, block)[offset] ^= mask;
+  silent_corruptions_.inc();
 }
 
 IoResult DiskArray::read_block(int disk, std::int64_t block,
@@ -198,7 +229,13 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
     return IoResult::fail(IoStatus::kTornWrite, disk, block);
   }
   std::memcpy(dst.data(), in.data(), block_bytes_);
-  if (injecting_) clear_bad(disk, block);  // successful rewrite remaps
+  if (injecting_) {
+    clear_bad(disk, block);  // successful rewrite remaps
+    if (const auto rot = rot_for_write(disk, block)) {
+      dst[rot->first] ^= rot->second;  // silent: still reported as ok
+      silent_corruptions_.inc();
+    }
+  }
   return IoResult::success();
 }
 
@@ -296,6 +333,10 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
     }
     std::memcpy(bdst, bsrc, block_bytes_);
     clear_bad(disk, block + k);  // successful rewrite remaps
+    if (const auto rot = rot_for_write(disk, block + k)) {
+      bdst[rot->first] ^= rot->second;  // silent: still reported as ok
+      silent_corruptions_.inc();
+    }
   }
   if (ok < count) return IoResult::fail(IoStatus::kDiskFailed, disk,
                                         block + ok);
@@ -365,6 +406,7 @@ void DiskArray::attach_metrics(obs::Registry& registry,
     c.counter(prefix + "_write_runs_total", write_runs_total);
     c.counter(prefix + "_sector_errors", sector_errors_.value());
     c.counter(prefix + "_torn_writes", torn_writes_.value());
+    c.counter(prefix + "_silent_corruptions", silent_corruptions_.value());
     c.counter(prefix + "_disk_failures", disk_failure_events_.value());
     c.gauge(prefix + "_failed_disks", failed_disks());
   });

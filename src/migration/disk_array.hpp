@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "migration/fault.hpp"
@@ -89,12 +91,24 @@ class DiskArray {
   std::uint64_t total_read_runs() const;
   std::uint64_t total_write_runs() const;
 
+  /// Flip `mask` into the stored byte at `offset` of a block, with no
+  /// counter update and no IoResult: the direct silent-corruption
+  /// backdoor for scrub tests (a plan's SilentCorruption entries and
+  /// bit_rot_rate land on the same counter). The caller must exclude
+  /// concurrent I/O on the block, exactly as for raw_block writes.
+  void corrupt_block(int disk, std::int64_t block, std::size_t offset = 0,
+                     std::uint8_t mask = 0xFF);
+
   /// Fault events observed by counted I/O since construction: injected
-  /// sector errors and torn writes surfaced to callers, and disks that
-  /// transitioned to failed (scripted fail_after trips and explicit
-  /// fail_disk calls; repairs don't subtract).
+  /// sector errors and torn writes surfaced to callers, silent
+  /// corruptions planted (scripted, bit-rot, and corrupt_block), and
+  /// disks that transitioned to failed (scripted fail_after trips and
+  /// explicit fail_disk calls; repairs don't subtract).
   std::uint64_t sector_errors() const { return sector_errors_.value(); }
   std::uint64_t torn_writes() const { return torn_writes_.value(); }
+  std::uint64_t silent_corruptions() const {
+    return silent_corruptions_.value();
+  }
   std::uint64_t disk_failure_events() const {
     return disk_failure_events_.value();
   }
@@ -136,6 +150,12 @@ class DiskArray {
   bool roll(double rate);  // one injection-RNG draw under fault_mu_
   bool is_bad(int disk, std::int64_t block) const;
   void clear_bad(int disk, std::int64_t block);
+  /// Byte flip (offset, mask) a counted write of this block must apply
+  /// after persisting, or nullopt: consumes a scripted SilentCorruption
+  /// entry for the block, else draws against bit_rot_rate. Runs in the
+  /// writing thread, so the flip itself inherits the writer's exclusion.
+  std::optional<std::pair<std::size_t, std::uint8_t>> rot_for_write(
+      int disk, std::int64_t block);
 
   std::vector<std::unique_ptr<Disk>> disks_;
   std::int64_t blocks_per_disk_;
@@ -147,12 +167,15 @@ class DiskArray {
   bool injecting_ = false;
   double sector_error_rate_ = 0.0;
   double torn_write_rate_ = 0.0;
+  double bit_rot_rate_ = 0.0;
   std::vector<std::pair<int, std::int64_t>> bad_blocks_;
+  std::vector<std::pair<int, std::int64_t>> rot_blocks_;  // scripted, one-shot
   Rng rng_{0};
 
   // Array-wide fault-event counters.
   obs::Counter sector_errors_;
   obs::Counter torn_writes_;
+  obs::Counter silent_corruptions_;
   obs::Counter disk_failure_events_;
 
   // Declared last so the collector detaches before anything it reads

@@ -60,6 +60,16 @@ struct FaultPlan {
   };
   std::vector<BadBlock> bad_blocks;
 
+  /// Scripted silent corruption: the next counted write of this block
+  /// persists with one pseudo-randomly chosen bit flipped and reports
+  /// success (the model of a write that hit the platter wrong). One-shot
+  /// per entry; no IoStatus surfaces — only a scrub can notice.
+  struct SilentCorruption {
+    int disk = 0;
+    std::int64_t block = 0;
+  };
+  std::vector<SilentCorruption> silent_corruptions;
+
   /// Probability that any counted read reports a transient sector
   /// error; drawn independently per attempt, so a retry may succeed.
   double sector_error_rate = 0.0;
@@ -67,6 +77,10 @@ struct FaultPlan {
   /// block is persisted and kTornWrite is reported. A full rewrite
   /// (retry) repairs the block.
   double torn_write_rate = 0.0;
+  /// Probability that a counted write silently flips one bit of the
+  /// just-persisted block and still reports success (bit-rot at write
+  /// time). Like SilentCorruption entries, invisible to IoResult.
+  double bit_rot_rate = 0.0;
   std::uint64_t seed = 0xC56'FA17ULL;
 };
 

@@ -413,14 +413,36 @@ std::string summarize_postmortem(const std::string& bundle_json) {
     const auto tw = extract_int(doc, "disk_array_torn_writes", registry_pos);
     const auto df = extract_int(doc, "disk_array_disk_failures", registry_pos);
     const auto fd = extract_int(doc, "disk_array_failed_disks", registry_pos);
-    if (se || tw || df || fd) {
+    const auto sc =
+        extract_int(doc, "disk_array_silent_corruptions", registry_pos);
+    if (se || tw || df || fd || sc) {
       out << "  disk faults: sector_errors=" << se.value_or(0)
           << " torn_writes=" << tw.value_or(0)
           << " disk_failures=" << df.value_or(0)
-          << " failed_disks=" << fd.value_or(0) << "\n";
+          << " failed_disks=" << fd.value_or(0)
+          << " silent_corruptions=" << sc.value_or(0) << "\n";
     } else {
       out << "  disk faults: (not recorded — no disk_array metrics in "
              "bundle)\n";
+    }
+    // Scrub counters, present when a Scrubber exported through the
+    // same registry.
+    if (const auto scanned =
+            extract_int(doc, "scrub_stripes_scanned", registry_pos)) {
+      out << "  scrub: scanned=" << *scanned << " dirty="
+          << extract_int(doc, "scrub_stripes_dirty", registry_pos).value_or(0)
+          << " located="
+          << extract_int(doc, "scrub_cells_located", registry_pos).value_or(0)
+          << " repaired="
+          << extract_int(doc, "scrub_cells_repaired", registry_pos).value_or(0)
+          << " ambiguous="
+          << extract_int(doc, "scrub_ambiguous", registry_pos).value_or(0)
+          << " deferred="
+          << extract_int(doc, "scrub_deferred", registry_pos).value_or(0)
+          << " repair_failures="
+          << extract_int(doc, "scrub_repair_failures", registry_pos)
+                 .value_or(0)
+          << "\n";
     }
   }
 

@@ -38,6 +38,18 @@ const char* to_string(MigrationState s) noexcept {
   return "?";
 }
 
+const char* to_string(TrustDomain d) noexcept {
+  switch (d) {
+    case TrustDomain::kBothFamilies:
+      return "both-families";
+    case TrustDomain::kHorizontalOnly:
+      return "horizontal-only";
+    case TrustDomain::kDeferred:
+      return "deferred";
+  }
+  return "?";
+}
+
 OnlineMigrator::OnlineMigrator(DiskArray& array, int p)
     : array_(array), code_(p), m_(p - 1) {
   if (array.disks() == m_ + 1) {
@@ -253,6 +265,26 @@ void OnlineMigrator::finish() {
 MigrationState OnlineMigrator::state() const {
   std::lock_guard lk(mu_);
   return state_;
+}
+
+void OnlineMigrator::scrub_group(
+    std::int64_t group, const std::function<void(TrustDomain)>& fn) const {
+  if (group < 0 || group >= groups_) {
+    throw std::out_of_range("OnlineMigrator::scrub_group: group " +
+                            std::to_string(group));
+  }
+  std::shared_lock ops(ops_mu_);
+  std::lock_guard gl(group_lock(group));
+  const int rows = rows_done_[group].load(std::memory_order_acquire);
+  TrustDomain td;
+  if (rows >= code_.p() - 1) {
+    td = TrustDomain::kBothFamilies;
+  } else if (rows == 0) {
+    td = TrustDomain::kHorizontalOnly;
+  } else {
+    td = TrustDomain::kDeferred;
+  }
+  fn(td);
 }
 
 std::string OnlineMigrator::abort_reason() const {

@@ -1,0 +1,112 @@
+#include "scrub/locator.hpp"
+
+#include <algorithm>
+
+#include "xorblk/pool.hpp"
+#include "xorblk/xor.hpp"
+
+namespace c56::scrub {
+
+const char* to_string(LocateResult::Outcome o) noexcept {
+  switch (o) {
+    case LocateResult::Outcome::kClean:
+      return "clean";
+    case LocateResult::Outcome::kLocated:
+      return "located";
+    case LocateResult::Outcome::kAmbiguous:
+      return "ambiguous";
+  }
+  return "?";
+}
+
+CellLocator::CellLocator(const ErasureCode& code) : code_(code) {
+  const std::vector<ChainSpec>& specs = code.chain_specs();
+  const std::vector<ParityChain>& chains = code.chains();
+  member_.resize(static_cast<std::size_t>(code.cell_count()));
+  stored_.resize(static_cast<std::size_t>(code.cell_count()), 0);
+  for (int f = 0; f < code.cell_count(); ++f) {
+    stored_[static_cast<std::size_t>(f)] =
+        code.kind(cell_of_index(f, code.cols())) != CellKind::kVirtual;
+  }
+  for (std::size_t ci = 0; ci < specs.size(); ++ci) {
+    all_.push_back(static_cast<int>(ci));
+    if (code.kind(chains[ci].parity) == CellKind::kRowParity) {
+      horizontal_.push_back(static_cast<int>(ci));
+    }
+    for (int cell : specs[ci].cells) {
+      member_[static_cast<std::size_t>(cell)].push_back(static_cast<int>(ci));
+    }
+  }
+  for (std::vector<int>& m : member_) std::ranges::sort(m);
+}
+
+LocateResult CellLocator::locate(StripeView s,
+                                 std::span<const int> trusted) const {
+  const std::vector<ChainSpec>& specs = code_.chain_specs();
+  const std::size_t bs = s.block_size();
+  LocateResult res;
+  // Failing set: trusted chains whose member blocks do not XOR to zero.
+  std::vector<char> failing(specs.size(), 0);
+  PooledBuffer acc(bs);
+  std::vector<const std::uint8_t*> srcs;
+  for (int ci : trusted) {
+    srcs.clear();
+    for (int cell : specs[static_cast<std::size_t>(ci)].cells) {
+      srcs.push_back(s.block(cell).data());
+    }
+    xor_accumulate(acc.data(), reinterpret_cast<const void* const*>(srcs.data()),
+                   srcs.size(), bs);
+    if (!all_zero(acc.span())) {
+      failing[static_cast<std::size_t>(ci)] = 1;
+      res.failing_chains.push_back(ci);
+    }
+  }
+  if (res.failing_chains.empty()) return res;  // kClean
+
+  // A single corrupted cell dirties exactly its trusted chains, so the
+  // candidates are the stored cells whose trusted membership equals the
+  // failing set.
+  std::vector<char> in_trusted(specs.size(), 0);
+  for (int ci : trusted) in_trusted[static_cast<std::size_t>(ci)] = 1;
+  const auto want = res.failing_chains.size();
+  for (int f = 0; f < code_.cell_count(); ++f) {
+    if (!stored_[static_cast<std::size_t>(f)]) continue;
+    std::size_t hit = 0;
+    bool subset = true;
+    for (int ci : member_[static_cast<std::size_t>(f)]) {
+      if (!in_trusted[static_cast<std::size_t>(ci)]) continue;
+      if (!failing[static_cast<std::size_t>(ci)]) {
+        subset = false;  // a clean trusted chain contains the cell
+        break;
+      }
+      ++hit;
+    }
+    if (subset && hit == want) res.candidates.push_back(f);
+  }
+  if (res.candidates.size() == 1) {
+    res.outcome = LocateResult::Outcome::kLocated;
+    res.cell = res.candidates.front();
+  } else {
+    res.outcome = LocateResult::Outcome::kAmbiguous;
+  }
+  return res;
+}
+
+bool CellLocator::recompute(StripeView s, int cell_flat,
+                            std::span<const int> trusted,
+                            std::span<std::uint8_t> out) const {
+  const std::vector<ChainSpec>& specs = code_.chain_specs();
+  std::vector<ChainSpec> subset;
+  subset.reserve(trusted.size());
+  for (int ci : trusted) subset.push_back(specs[static_cast<std::size_t>(ci)]);
+  const int erased[] = {cell_flat};
+  const auto recipes = solve_erasures(code_.cell_count(), subset, erased);
+  if (!recipes || recipes->empty()) return false;
+  std::ranges::fill(out, std::uint8_t{0});
+  for (int src : recipes->front().sources) {
+    xor_into(out, s.block(src));
+  }
+  return true;
+}
+
+}  // namespace c56::scrub

@@ -1,0 +1,78 @@
+#pragma once
+// Chain-intersection location of silently corrupted cells.
+//
+// A stripe of any code in the zoo is covered by parity chains — cell
+// sets whose blocks XOR to zero. A single corrupted cell dirties
+// exactly the chains it belongs to, so the failing-chain set is the
+// cell's chain membership: intersecting the failing chains pinpoints
+// the cell whenever its membership is unique among the stored cells
+// (for a dual-parity code every data cell sits on two independent
+// chains, which is what makes location — not just detection —
+// possible; see PAPERS.md on codes protecting against silent data
+// corruption). Zero failing chains means clean; a failing set matching
+// no cell or several cells (two corruptions, or a single-parity family
+// where every row mate looks alike) is reported as ambiguous and never
+// repaired.
+//
+// The locator only trusts the chain subset the caller passes in: during
+// migration the scrubber restricts unconverted groups to the horizontal
+// (RAID-5) family, converted groups cross-check both families.
+// Recomputation of a located cell goes through the GF(2) solver
+// (solve_erasures) over the trusted chains — the library's ground-truth
+// decoder — rather than any specialized path.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/erasure_code.hpp"
+#include "layout/stripe.hpp"
+
+namespace c56::scrub {
+
+struct LocateResult {
+  enum class Outcome : std::uint8_t {
+    kClean,      // every trusted chain XORs to zero
+    kLocated,    // exactly one stored cell explains the failing set
+    kAmbiguous,  // zero or several candidates: detect, do not repair
+  };
+  Outcome outcome = Outcome::kClean;
+  int cell = -1;                    // flat index; kLocated only
+  std::vector<int> failing_chains;  // trusted chains with nonzero syndrome
+  std::vector<int> candidates;      // stored cells matching the failing set
+};
+
+const char* to_string(LocateResult::Outcome o) noexcept;
+
+class CellLocator {
+ public:
+  /// `code` is kept by reference and must outlive the locator.
+  explicit CellLocator(const ErasureCode& code);
+
+  /// Every chain index, in chain_specs() order.
+  const std::vector<int>& all_chains() const { return all_; }
+  /// Chain indices whose parity cell is a horizontal (row) parity —
+  /// the family a not-yet-converted RAID-5 group already satisfies.
+  const std::vector<int>& horizontal_chains() const { return horizontal_; }
+
+  /// Syndrome-scan the trusted chains (indices into the code's
+  /// chain_specs()) over the stored stripe `s` and intersect the
+  /// failing ones down to a candidate cell.
+  LocateResult locate(StripeView s, std::span<const int> trusted) const;
+
+  /// Recompute the value of `cell_flat` from the other cells of `s`
+  /// via a solve_erasures recipe over the trusted chains, into `out`
+  /// (block-sized). False when the trusted family cannot reconstruct
+  /// the cell.
+  bool recompute(StripeView s, int cell_flat, std::span<const int> trusted,
+                 std::span<std::uint8_t> out) const;
+
+ private:
+  const ErasureCode& code_;
+  std::vector<int> all_;
+  std::vector<int> horizontal_;
+  std::vector<std::vector<int>> member_;  // flat cell -> sorted chain ids
+  std::vector<char> stored_;              // flat cell -> physically stored
+};
+
+}  // namespace c56::scrub

@@ -25,6 +25,7 @@
 #include "migration/online.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "scrub/scrubber.hpp"
 #include "util/rng.hpp"
 #include "xorblk/xor.hpp"
 
@@ -298,6 +299,17 @@ TEST(MigrationMonitor, PostmortemBundleWrittenOnAbortAndSummarized) {
   mig.attach_metrics(reg);
   mig.attach_events(log, "pm-test");
 
+  // A detect-only scrub pass over a planted corruption before the
+  // migration starts, so the bundle's registry snapshot carries
+  // nonzero scrub_* counters for the summary's scrub block.
+  scrub::Scrubber scrubber(array, mig);
+  scrubber.set_repair(false);
+  scrubber.attach_metrics(reg);
+  array.corrupt_block(0, 0, 3, 0x40);
+  const auto srep = scrubber.run_pass();
+  ASSERT_EQ(srep.dirty, 1);
+  array.corrupt_block(0, 0, 3, 0x40);  // XOR backdoor: undo the flip
+
   FaultPlan plan;
   plan.disk_failures.push_back({.disk = 1, .after_ios = 10});
   plan.disk_failures.push_back({.disk = 2, .after_ios = 30});
@@ -340,6 +352,12 @@ TEST(MigrationMonitor, PostmortemBundleWrittenOnAbortAndSummarized) {
   EXPECT_NE(summary.find("plan"), std::string::npos) << summary;
   EXPECT_NE(summary.find("disk_failures=2"), std::string::npos) << summary;
   EXPECT_NE(summary.find("failed_disks=2"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("silent_corruptions=2"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("scrub: scanned=" + std::to_string(groups)),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("dirty=1"), std::string::npos) << summary;
   EXPECT_NE(summary.find("[error]"), std::string::npos) << summary;
 
   // The dump is once-per-monitor: removing the file and polling again

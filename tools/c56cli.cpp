@@ -18,6 +18,11 @@
 //   c56cli postmortem <bundle>                 human summary of a post-mortem
 //                                              bundle written by monitor (or
 //                                              by MigrationMonitor anywhere)
+//   c56cli scrub   [--p N] [--groups N] [--corrupt N] [--repair]
+//                  [--rate N] [--json]         seeded silent-corruption demo:
+//                                              migrate, plant write-time and
+//                                              backdoor corruption, scrub
+//                                              (detect-only unless --repair)
 //
 // Codes: code56 rdp evenodd xcode pcode hcode hdp
 // Approaches: via-raid0 via-raid4 direct
@@ -49,6 +54,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "scrub/scrubber.hpp"
 #include "sim/event_sim.hpp"
 #include "util/rng.hpp"
 #include "xorblk/pool.hpp"
@@ -392,6 +398,17 @@ int cmd_monitor(int argc, char** argv) {
   array.attach_metrics(reg);
   migrator.attach_metrics(reg);
 
+  // Background scrubber riding the monitored conversion, detect-only:
+  // a faulted run leaves dead disks whose stale bytes fail every
+  // chain, and the migration-mode scrubber has no failed-disk
+  // deferral — repairs would flail. Detection still populates the
+  // scrub_* counters the post-mortem summary reports.
+  scrub::Scrubber scrubber(array, migrator);
+  scrubber.set_repair(false);
+  scrubber.set_interval_ms(sample_ms);
+  scrubber.attach_metrics(reg);
+  scrubber.attach_events(log);
+
   if (faults) {
     // Two mid-stream disk deaths exceed the source RAID-5's fault
     // tolerance, so the conversion aborts and the monitor dumps the
@@ -420,6 +437,7 @@ int cmd_monitor(int argc, char** argv) {
   sampler.start();
 
   monitor.begin_phase("convert+app-io");
+  scrubber.start();
   migrator.start();
   {  // application I/O racing the conversion, as in `stats`
     Rng rng(7);
@@ -438,6 +456,7 @@ int cmd_monitor(int argc, char** argv) {
     }
   }
   migrator.finish();
+  scrubber.stop();
   monitor.end_phase();
   sampler.stop();
   monitor.poll();  // final poll: terminal state + abort dump if missed
@@ -501,13 +520,136 @@ int cmd_mttdl(int argc, char** argv) {
   return 0;
 }
 
+int cmd_scrub(int argc, char** argv) {
+  const int p = static_cast<int>(flag_value(argc, argv, "--p", 5));
+  const std::int64_t groups = flag_value(argc, argv, "--groups", 8);
+  const bool repair = has_flag(argc, argv, "--repair");
+  const int rate = static_cast<int>(flag_value(argc, argv, "--rate", 0));
+  const bool json = has_flag(argc, argv, "--json");
+  const std::int64_t want_inject = flag_value(argc, argv, "--corrupt", 3);
+  if (p < 5 || groups < 2) {
+    std::fprintf(stderr, "scrub: need --p >= 5 and --groups >= 2\n");
+    return 2;
+  }
+  constexpr std::size_t kBlock = 512;
+  const int m = p - 1;
+
+  // A finished RAID-5 -> RAID-6 migration: both parity families exist,
+  // so the scrubber can locate (not just detect) single corrupted cells.
+  mig::DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56u);
+  mig::OnlineMigrator migrator(array, p);
+  migrator.set_workers(2);
+  migrator.start();
+  migrator.finish();
+
+  // One write-time silent corruption through the fault plan (the next
+  // counted write of disk 0 block 0 persists with a flipped bit and
+  // reports success), consumed by a full pass of application rewrites...
+  mig::FaultPlan plan;
+  plan.silent_corruptions.push_back({.disk = 0, .block = 0});
+  array.set_fault_plan(plan);
+  {
+    Rng rng(21);
+    std::vector<std::uint8_t> buf(kBlock);
+    for (std::int64_t l = 0; l < migrator.logical_blocks(); ++l) {
+      rng.fill(buf.data(), buf.size());
+      migrator.write_block(l, buf);
+    }
+  }
+  // ... plus seeded single-bit backdoor flips, one per stripe group.
+  {
+    Rng rng(0x5C12B);
+    const std::int64_t k = std::min<std::int64_t>(want_inject, groups - 1);
+    for (std::int64_t g = 1; g <= k; ++g) {
+      const int disk =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+      const std::int64_t block =
+          g * (p - 1) +
+          static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(p - 1)));
+      array.corrupt_block(disk, block,
+                          static_cast<std::size_t>(rng.next_below(kBlock)),
+                          static_cast<std::uint8_t>(1u << rng.next_below(8)));
+    }
+  }
+  const std::uint64_t injected = array.silent_corruptions();
+
+  obs::EventLog& log = obs::EventLog::global();
+  log.set_stderr_echo(false);
+  scrub::Scrubber scr(array, migrator);
+  scr.attach_events(log);
+  scr.set_repair(repair);
+  scr.set_rate(rate);
+
+  std::vector<scrub::PassReport> passes;
+  for (int i = 0; i < 3; ++i) {
+    passes.push_back(scr.run_pass());
+    if (!repair || passes.back().dirty == 0) break;
+  }
+  const scrub::ScrubStats st = scr.stats();
+  const bool clean = migrator.verify_raid6();
+
+  if (json) {
+    std::printf("{\"p\": %d, \"groups\": %lld, \"injected\": %llu, "
+                "\"repair\": %s, \"rate\": %d, \"passes\": [",
+                p, static_cast<long long>(groups),
+                static_cast<unsigned long long>(injected),
+                repair ? "true" : "false", rate);
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+      const scrub::PassReport& r = passes[i];
+      std::printf("%s{\"scanned\": %lld, \"dirty\": %lld, \"located\": %lld, "
+                  "\"repaired\": %lld, \"ambiguous\": %lld, "
+                  "\"deferred\": %lld, \"failed\": %lld}",
+                  i == 0 ? "" : ", ", static_cast<long long>(r.scanned),
+                  static_cast<long long>(r.dirty),
+                  static_cast<long long>(r.located),
+                  static_cast<long long>(r.repaired),
+                  static_cast<long long>(r.ambiguous),
+                  static_cast<long long>(r.deferred),
+                  static_cast<long long>(r.failed));
+    }
+    std::printf("], \"cells_repaired\": %llu, \"repair_failures\": %llu, "
+                "\"verify_raid6\": %s}\n",
+                static_cast<unsigned long long>(st.cells_repaired),
+                static_cast<unsigned long long>(st.repair_failures),
+                clean ? "true" : "false");
+    return 0;
+  }
+
+  std::printf("scrub demo: p=%d groups=%lld corruptions=%llu "
+              "(1 write-time + %llu backdoor), repair=%s rate=%d\n",
+              p, static_cast<long long>(groups),
+              static_cast<unsigned long long>(injected),
+              static_cast<unsigned long long>(injected - 1),
+              repair ? "on" : "off", rate);
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const scrub::PassReport& r = passes[i];
+    std::printf("  pass %zu: scanned=%lld dirty=%lld located=%lld "
+                "repaired=%lld ambiguous=%lld deferred=%lld failed=%lld\n",
+                i + 1, static_cast<long long>(r.scanned),
+                static_cast<long long>(r.dirty),
+                static_cast<long long>(r.located),
+                static_cast<long long>(r.repaired),
+                static_cast<long long>(r.ambiguous),
+                static_cast<long long>(r.deferred),
+                static_cast<long long>(r.failed));
+  }
+  std::printf("  totals: repaired=%llu ambiguous=%llu repair_failures=%llu\n",
+              static_cast<unsigned long long>(st.cells_repaired),
+              static_cast<unsigned long long>(st.ambiguous),
+              static_cast<unsigned long long>(st.repair_failures));
+  std::printf("  verify_raid6: %s\n", clean ? "ok" : "DIRTY");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: c56cli <layout|chains|analyze|convert|speedup|"
-                 "mttdl|stats|monitor|postmortem> ...\n");
+                 "mttdl|stats|monitor|postmortem|scrub> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -522,6 +664,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return cmd_stats(argc, argv);
   if (cmd == "monitor") return cmd_monitor(argc, argv);
   if (cmd == "postmortem") return cmd_postmortem(argc, argv);
+  if (cmd == "scrub") return cmd_scrub(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
