@@ -90,6 +90,9 @@ std::vector<OpResult> bench_kernel(const c56::XorKernel& k) {
     out.push_back({"xor_accumulate", n, throughput_gbps(n, [&] {
                      k.xor_accumulate(dst.data(), srcs.data(), kAccSources, n);
                    })});
+    out.push_back({"xor_delta", n, throughput_gbps(n, [&] {
+                     k.xor_delta(dst.data(), a.data(), b.data(), n);
+                   })});
     volatile bool sink = false;
     out.push_back({"all_zero", n, throughput_gbps(n, [&] {
                      sink = k.all_zero(a.data(), n);

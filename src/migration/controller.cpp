@@ -106,6 +106,20 @@ ArrayController::ArrayController(DiskArray& array,
   if (const auto v = util::env_int("C56_CACHE_STRIPES", 0, 1 << 22)) {
     if (*v > 0) set_cache_stripes(static_cast<std::size_t>(*v));
   }
+  if (const auto v = util::env_int("C56_SUBBLOCK", 0, 1)) {
+    subblock_delta_ = *v != 0;
+  }
+  if (const auto v = util::env_int("C56_SUBBLOCK_PROMOTE_PCT", 1, 100)) {
+    subblock_promote_pct_ = static_cast<int>(*v);
+  }
+}
+
+void ArrayController::set_subblock_promote_pct(int pct) {
+  if (pct < 1 || pct > 100) {
+    throw std::invalid_argument(
+        "set_subblock_promote_pct: pct must be in [1, 100]");
+  }
+  subblock_promote_pct_ = pct;
 }
 
 std::int64_t ArrayController::logical_blocks() const {
@@ -600,6 +614,271 @@ void ArrayController::write_partial_stripe(std::int64_t stripe, int i0, int n,
   }
 }
 
+void ArrayController::read_range(std::int64_t logical, std::int64_t offset,
+                                 std::span<std::uint8_t> out) {
+  const std::size_t bs = array_.block_bytes();
+  if (logical < 0 || logical >= logical_blocks() || offset < 0 ||
+      offset > static_cast<std::int64_t>(bs) ||
+      out.size() > bs - static_cast<std::size_t>(offset)) {
+    throw std::out_of_range("ArrayController::read_range: bad range");
+  }
+  if (out.empty()) return;  // validated no-op
+  if (offset == 0 && out.size() == bs) {
+    read(logical, out);
+    return;
+  }
+  const Locus l = locate(logical);
+  const auto off = static_cast<std::size_t>(offset);
+  if (cache_) {
+    PooledBuffer tmp(bs);
+    if (cache_->lookup(l.stripe, flat_of(l.cell), tmp.span())) {
+      std::memcpy(out.data(), tmp.data() + off, out.size());
+      return;
+    }
+  }
+  std::lock_guard sl(stripe_lock(l.stripe));
+  if (cell_failed(l.cell)) {
+    // Reconstruction is whole-block by nature (the XOR chains cover
+    // full blocks); slice the range and keep the full value cached.
+    PooledBuffer tmp(bs);
+    reconstruct_cell(l.stripe, l.cell, tmp.span());
+    std::memcpy(out.data(), tmp.data() + off, out.size());
+    cache_fill(l.stripe, l.cell, tmp.span());
+    return;
+  }
+  const IoResult r =
+      read_range_retry(array_, disk_of(l.cell.col),
+                       block_of(l.stripe, l.cell.row), off, out,
+                       RetryPolicy{}, nullptr);
+  if (!r.ok()) throw_io("range read failed", r);
+}
+
+void ArrayController::write_range(std::int64_t logical, std::int64_t offset,
+                                  std::span<const std::uint8_t> in) {
+  const std::size_t bs = array_.block_bytes();
+  if (logical < 0 || logical >= logical_blocks() || offset < 0 ||
+      offset > static_cast<std::int64_t>(bs) ||
+      in.size() > bs - static_cast<std::size_t>(offset)) {
+    throw std::out_of_range("ArrayController::write_range: bad range");
+  }
+  if (in.empty()) return;  // validated no-op
+  if (offset == 0 && in.size() == bs) {
+    // Whole-block range: the per-block path, byte- and I/O-identical.
+    write(logical, in);
+    return;
+  }
+  const SubWrite w{logical, offset, in};
+  write_range(std::span<const SubWrite>(&w, 1));
+}
+
+void ArrayController::write_range(std::span<const SubWrite> batch) {
+  const std::size_t bs = array_.block_bytes();
+  for (const SubWrite& w : batch) {
+    if (w.logical < 0 || w.logical >= logical_blocks() || w.offset < 0 ||
+        w.offset > static_cast<std::int64_t>(bs) ||
+        w.data.size() > bs - static_cast<std::size_t>(w.offset)) {
+      throw std::out_of_range("ArrayController::write_range: bad range");
+    }
+  }
+  // Validated zero-length entries are no-ops; group the rest by stripe,
+  // preserving batch order within each stripe (overlaps apply in order).
+  const auto per = static_cast<std::int64_t>(data_cells_.size());
+  std::vector<SubWrite> ops;
+  ops.reserve(batch.size());
+  for (const SubWrite& w : batch) {
+    if (!w.data.empty()) ops.push_back(w);
+  }
+  if (ops.empty()) return;
+  const bool obs_on = obs::metrics_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (obs_on) t0 = std::chrono::steady_clock::now();
+  if (events_ && obs::events_enabled()) {
+    emit_event(obs::EventLevel::kDebug,
+               "subblock write: " + std::to_string(ops.size()) + " ops",
+               -1, "subblock_write");
+  }
+  std::stable_sort(ops.begin(), ops.end(),
+                   [per](const SubWrite& a, const SubWrite& b) {
+                     return a.logical / per < b.logical / per;
+                   });
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    const std::int64_t stripe = ops[i].logical / per;
+    std::size_t j = i + 1;
+    while (j < ops.size() && ops[j].logical / per == stripe) ++j;
+    std::lock_guard sl(stripe_lock(stripe));
+    write_subblock_stripe(stripe,
+                          std::span<const SubWrite>(ops.data() + i, j - i));
+    i = j;
+  }
+  if (obs_on) {
+    ranged_writes_.inc();
+    write_latency_us_.observe(elapsed_us(t0));
+  }
+}
+
+void ArrayController::write_subblock_stripe(std::int64_t stripe,
+                                            std::span<const SubWrite> ops) {
+  const std::size_t bs = array_.block_bytes();
+  const int cols = code_->cols();
+  const auto per = static_cast<std::int64_t>(data_cells_.size());
+  const bool obs_on = obs::metrics_enabled();
+
+  // Union byte range per touched data cell, in first-touch order.
+  struct ByteRange {
+    std::size_t lo, hi;
+  };
+  std::vector<int> touched;  // data idx within the stripe
+  std::vector<int> slot_of(data_cells_.size(), -1);
+  std::vector<ByteRange> range;
+  for (const SubWrite& w : ops) {
+    const auto idx = static_cast<int>(w.logical % per);
+    int s = slot_of[static_cast<std::size_t>(idx)];
+    if (s < 0) {
+      s = static_cast<int>(touched.size());
+      slot_of[static_cast<std::size_t>(idx)] = s;
+      touched.push_back(idx);
+      range.push_back({bs, 0});
+    }
+    auto& br = range[static_cast<std::size_t>(s)];
+    br.lo = std::min(br.lo, static_cast<std::size_t>(w.offset));
+    br.hi = std::max(br.hi, static_cast<std::size_t>(w.offset) + w.data.size());
+  }
+
+  // Promotion: a range covering >= pct% of the block is widened to the
+  // whole block (with the plane disabled, everything is — that is the
+  // whole-block RMW fallback).
+  const int pct = subblock_delta_ ? subblock_promote_pct_ : 0;
+  std::uint64_t promoted = 0;
+  for (ByteRange& br : range) {
+    if ((br.hi - br.lo) * 100 >= static_cast<std::size_t>(pct) * bs) {
+      if (br.lo != 0 || br.hi != bs) ++promoted;
+      br.lo = 0;
+      br.hi = bs;
+    }
+  }
+
+  // Old and new images of every touched cell. The old image is read
+  // over just the union range unless the full block is available for
+  // free (cache hit) or required anyway (failed cell reconstruction is
+  // whole-block by nature; promoted ranges are the whole block).
+  const std::size_t T = touched.size();
+  PooledBuffer olds(T * bs), news(T * bs);
+  std::vector<char> have_full(T, 0), skip(T, 0);
+  for (std::size_t t = 0; t < T; ++t) {
+    const Cell c = data_cells_[static_cast<std::size_t>(touched[t])];
+    const auto oldb = olds.block(t, bs);
+    const ByteRange br = range[t];
+    if (cache_ && cache_->lookup(stripe, flat_of(c), oldb)) {
+      have_full[t] = 1;
+    } else if (cell_failed(c)) {
+      reconstruct_cell(stripe, c, oldb);
+      have_full[t] = 1;
+    } else {
+      const IoResult r = read_range_retry(
+          array_, disk_of(c.col), block_of(stripe, c.row), br.lo,
+          oldb.subspan(br.lo, br.hi - br.lo), RetryPolicy{}, nullptr);
+      if (!r.ok()) throw_io("range read failed", r);
+      have_full[t] = br.lo == 0 && br.hi == bs;
+    }
+    const std::size_t lo = have_full[t] ? 0 : br.lo;
+    const std::size_t hi = have_full[t] ? bs : br.hi;
+    std::memcpy(news.data() + t * bs + lo, olds.data() + t * bs + lo,
+                hi - lo);
+  }
+  for (const SubWrite& w : ops) {
+    const auto idx = static_cast<int>(w.logical % per);
+    const auto t = static_cast<std::size_t>(
+        slot_of[static_cast<std::size_t>(idx)]);
+    std::memcpy(news.data() + t * bs + static_cast<std::size_t>(w.offset),
+                w.data.data(), w.data.size());
+  }
+  for (std::size_t t = 0; t < T; ++t) {
+    skip[t] = std::memcmp(olds.data() + t * bs + range[t].lo,
+                          news.data() + t * bs + range[t].lo,
+                          range[t].hi - range[t].lo) == 0
+                  ? 1
+                  : 0;  // idempotent sub-write: no deltas, no disk I/O
+  }
+
+  // Coalesce contributors per surviving parity: each affected parity
+  // block is read over the union of its contributors' ranges, delta-
+  // updated in one pass per contributor (parity ^= new ^ old), and
+  // written back — at most one ranged RMW per parity per batch.
+  std::vector<int> parities;  // flat parity indices
+  std::vector<int> pslot(kind_.size(), -1);
+  std::vector<ByteRange> prange;
+  std::vector<std::vector<std::size_t>> contributors;
+  for (std::size_t t = 0; t < T; ++t) {
+    if (skip[t]) continue;
+    for (Cell pc : parities_of(touched[t])) {
+      if (cell_failed(pc)) continue;  // regenerated at rebuild time
+      const auto pf = static_cast<std::size_t>(flat_of(pc));
+      int s = pslot[pf];
+      if (s < 0) {
+        s = static_cast<int>(parities.size());
+        pslot[pf] = s;
+        parities.push_back(static_cast<int>(pf));
+        prange.push_back({bs, 0});
+        contributors.emplace_back();
+      }
+      auto& pr = prange[static_cast<std::size_t>(s)];
+      pr.lo = std::min(pr.lo, range[t].lo);
+      pr.hi = std::max(pr.hi, range[t].hi);
+      contributors[static_cast<std::size_t>(s)].push_back(t);
+    }
+  }
+  if (obs_on) {
+    subblock_writes_.inc(ops.size());
+    delta_parities_.inc(parities.size());
+    if (promoted) subblock_promotions_.inc(promoted);
+  }
+
+  PooledBuffer pbuf(std::max<std::size_t>(1, parities.size()) * bs);
+  for (std::size_t p = 0; p < parities.size(); ++p) {
+    const Cell pc = cell_of_index(parities[p], cols);
+    const int d = disk_of(pc.col);
+    const std::int64_t b = block_of(stripe, pc.row);
+    const ByteRange pr = prange[p];
+    std::uint8_t* par = pbuf.data() + p * bs;
+    const IoResult r = read_range_retry(
+        array_, d, b, pr.lo, {par + pr.lo, pr.hi - pr.lo}, RetryPolicy{},
+        nullptr);
+    if (!r.ok()) throw_io("parity range read failed", r);
+    for (const std::size_t t : contributors[p]) {
+      const ByteRange br = range[t];
+      xor_delta_into(par + br.lo, olds.data() + t * bs + br.lo,
+                     news.data() + t * bs + br.lo, br.hi - br.lo);
+    }
+    // Write failures mirror write_cells: a torn range is repaired by
+    // the retry's rewrite; a disk that died mid-batch is left to the
+    // failure machinery (fail_disk/rebuild), not reported here.
+    write_range_retry(array_, d, b, pr.lo, {par + pr.lo, pr.hi - pr.lo},
+                      RetryPolicy{}, nullptr);
+  }
+
+  for (std::size_t t = 0; t < T; ++t) {
+    if (skip[t]) continue;
+    const Cell c = data_cells_[static_cast<std::size_t>(touched[t])];
+    const ByteRange br = range[t];
+    if (!cell_failed(c)) {
+      write_range_retry(array_, disk_of(c.col), block_of(stripe, c.row),
+                        br.lo,
+                        {news.data() + t * bs + br.lo, br.hi - br.lo},
+                        RetryPolicy{}, nullptr);
+    }
+  }
+  // Write-through cache merge: only a cell whose full new value is known
+  // may enter the cache — a partial image must never be inserted. An
+  // already-cached block was the old-value source (full), so it is
+  // updated; an uncached partial write stays uncached.
+  for (std::size_t t = 0; t < T; ++t) {
+    if (!have_full[t]) continue;
+    cache_fill(stripe, data_cells_[static_cast<std::size_t>(touched[t])],
+               news.block(t, bs));
+  }
+}
+
 void ArrayController::set_cache_stripes(std::size_t n) {
   cache_stripes_ = n;
   if (n == 0) {
@@ -621,7 +900,9 @@ StripeCache::Stats ArrayController::cache_stats() const {
 ArrayController::PlannerCounters ArrayController::planner_counters() const {
   return {ranged_reads_.value(),        ranged_writes_.value(),
           full_stripe_writes_.value(),  partial_stripe_writes_.value(),
-          direct_parities_.value(),     rmw_parities_.value()};
+          direct_parities_.value(),     rmw_parities_.value(),
+          subblock_writes_.value(),     delta_parities_.value(),
+          subblock_promotions_.value()};
 }
 
 void ArrayController::attach_metrics(obs::Registry& registry,
@@ -634,6 +915,9 @@ void ArrayController::attach_metrics(obs::Registry& registry,
               partial_stripe_writes_.value());
     c.counter(prefix + "_direct_parities", direct_parities_.value());
     c.counter(prefix + "_rmw_parities", rmw_parities_.value());
+    c.counter(prefix + "_subblock_writes", subblock_writes_.value());
+    c.counter(prefix + "_delta_parities", delta_parities_.value());
+    c.counter(prefix + "_subblock_promotions", subblock_promotions_.value());
     c.histogram(prefix + "_read_latency_us", read_latency_us_.snapshot());
     c.histogram(prefix + "_write_latency_us", write_latency_us_.snapshot());
     const StripeCache::Stats cs = cache_stats();

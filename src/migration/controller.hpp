@@ -14,7 +14,7 @@
 // columns, which have no physical disk); logical data blocks enumerate
 // the code's data cells stripe by stripe in row-major order.
 //
-// Two I/O paths exist side by side:
+// Three I/O paths exist side by side:
 //   * the per-block read(l, out)/write(l, in) pair — one block, one
 //     read-modify-write per affected parity (Table III's metric);
 //   * the ranged read(l, count, out)/write(l, count, in) pair — the
@@ -29,6 +29,19 @@
 //     stretch. Both paths leave byte-identical array contents on
 //     parity-consistent stripes (which a zeroed array already is, and
 //     which every path here maintains).
+//   * the sub-block write_range(l, off, in) path (single and batched) —
+//     the delta write plane. Every code in the zoo XORs parity
+//     bytewise, so a data byte at intra-block offset o feeds each of
+//     its parities at the same offset o; a sub-block write therefore
+//     only needs to move the touched byte range: read the old range,
+//     apply parity ^= new ^ old over that range (xor_delta kernels),
+//     and write the range back — data and every covering parity,
+//     horizontal and diagonal alike, via DiskArray range I/O. A batch
+//     coalesces deltas per parity block (one ranged read-modify-write
+//     per parity per stripe). Writes covering the whole block — or at
+//     least C56_SUBBLOCK_PROMOTE_PCT percent of it — are promoted to
+//     whole-block semantics, and write_range(l, 0, full_block) is
+//     byte- and I/O-count-identical to write(l, full_block).
 //
 // An optional write-through stripe cache (set_cache_stripes() or
 // C56_CACHE_STRIPES, default off) caches *data* cells at their current
@@ -78,6 +91,42 @@ class ArrayController {
   void write(std::int64_t logical, std::int64_t count,
              std::span<const std::uint8_t> in);
 
+  /// Sub-block I/O (the delta write plane, see header comment).
+  /// write_range replaces bytes [offset, offset + in.size()) of logical
+  /// block `logical`, XOR-delta-updating only that byte range of every
+  /// surviving parity the cell feeds. A zero-length range is a
+  /// validated no-op; offset/len outside the block throw out_of_range.
+  /// A full-block range takes the whole-block path and is byte- and
+  /// I/O-count-identical to write(logical, in).
+  void write_range(std::int64_t logical, std::int64_t offset,
+                   std::span<const std::uint8_t> in);
+  void read_range(std::int64_t logical, std::int64_t offset,
+                  std::span<std::uint8_t> out);
+
+  struct SubWrite {
+    std::int64_t logical = 0;
+    std::int64_t offset = 0;
+    std::span<const std::uint8_t> data;
+  };
+  /// Batched sub-block writes. Entries are validated up front, grouped
+  /// by stripe, and applied in batch order within each stripe (later
+  /// entries win on overlap). Per stripe, the per-cell byte ranges are
+  /// unioned and the parity deltas of all touched cells are coalesced,
+  /// so each affected parity block is read and written at most once
+  /// per batch regardless of how many sub-writes feed it.
+  void write_range(std::span<const SubWrite> batch);
+
+  /// Delta-plane control (defaults: enabled, promote at 100%; the
+  /// C56_SUBBLOCK / C56_SUBBLOCK_PROMOTE_PCT environment knobs set
+  /// these at construction time). Disabling routes every sub-block
+  /// write through whole-block read-modify-write; the promotion
+  /// threshold widens ranges covering >= pct% of a block to the whole
+  /// block.
+  void set_subblock_delta(bool on) { subblock_delta_ = on; }
+  bool subblock_delta() const { return subblock_delta_; }
+  void set_subblock_promote_pct(int pct);
+  int subblock_promote_pct() const { return subblock_promote_pct_; }
+
   /// Stripe cache control. n == 0 disables (the default, unless the
   /// C56_CACHE_STRIPES environment variable set a size at construction
   /// time). Resizing drops all cached contents.
@@ -101,6 +150,10 @@ class ArrayController {
     std::uint64_t partial_stripe_writes = 0;
     std::uint64_t direct_parities = 0;  // pre-reads avoided
     std::uint64_t rmw_parities = 0;
+    // Delta write plane.
+    std::uint64_t subblock_writes = 0;      // sub-writes processed
+    std::uint64_t delta_parities = 0;       // parities updated by range RMW
+    std::uint64_t subblock_promotions = 0;  // cells widened to whole-block
   };
   PlannerCounters planner_counters() const;
 
@@ -185,6 +238,10 @@ class ArrayController {
                          std::span<const std::uint8_t> in);
   void write_partial_stripe(std::int64_t stripe, int i0, int n,
                             std::span<const std::uint8_t> in);
+  // Delta-plane stage: sub-writes of one stripe, already validated, in
+  // batch order, applied under the stripe lock.
+  void write_subblock_stripe(std::int64_t stripe,
+                             std::span<const SubWrite> ops);
   // Vectored cell I/O: both group the requested cells into per-column
   // runs of consecutive rows and issue one DiskArray batch per run.
   struct CellFetch {
@@ -240,6 +297,10 @@ class ArrayController {
   std::unique_ptr<StripeCache> cache_;  // null when disabled
   std::size_t cache_stripes_ = 0;
 
+  // Delta write plane configuration (see set_subblock_delta).
+  bool subblock_delta_ = true;
+  int subblock_promote_pct_ = 100;
+
   // Observability (updated only under obs::metrics_enabled()).
   obs::Counter ranged_reads_;
   obs::Counter ranged_writes_;
@@ -247,6 +308,9 @@ class ArrayController {
   obs::Counter partial_stripe_writes_;
   obs::Counter direct_parities_;
   obs::Counter rmw_parities_;
+  obs::Counter subblock_writes_;
+  obs::Counter delta_parities_;
+  obs::Counter subblock_promotions_;
   obs::Histogram read_latency_us_;
   obs::Histogram write_latency_us_;
   // Declared last so the collector detaches before anything it reads.

@@ -284,6 +284,31 @@ double data_blocks_per_stripe(const ConversionSpec& spec) {
   return build_layout(spec).data_blocks;
 }
 
+SingleWriteCost single_write_cost(const ErasureCode& code,
+                                  std::size_t block_bytes, std::size_t len,
+                                  bool delta, const sim::DiskParams& disk) {
+  if (block_bytes == 0 || len == 0 || len > block_bytes) {
+    throw std::invalid_argument("single_write_cost: bad range length");
+  }
+  double total_accesses = 0.0;
+  std::int64_t data_cells = 0;
+  for (int r = 0; r < code.rows(); ++r) {
+    for (int c = 0; c < code.cols(); ++c) {
+      if (code.kind({r, c}) != CellKind::kData) continue;
+      ++data_cells;
+      // Read old data + read each dependent parity, then write them all.
+      total_accesses += 2.0 * (1.0 + code.update_complexity({r, c}));
+    }
+  }
+  SingleWriteCost out;
+  out.ops = total_accesses / static_cast<double>(data_cells);
+  const auto moved = static_cast<double>(delta ? len : block_bytes);
+  out.bytes = out.ops * moved;
+  out.device_ms = out.ops * (disk.avg_seek_ms + disk.avg_rotational_ms()) +
+                  out.bytes / (disk.transfer_mb_s * 1e3);
+  return out;
+}
+
 ConversionCosts analyze(const ConversionSpec& s) {
   if (!s.valid()) {
     throw std::invalid_argument("invalid conversion spec: " + s.label());

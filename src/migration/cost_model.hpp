@@ -22,10 +22,12 @@
 // on freshly added disks by 0. Codes that reuse the RAID-5 parity
 // (Code 5-6, HDP) have no holes.
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "codes/registry.hpp"
+#include "sim/disk_model.hpp"
 
 namespace c56::mig {
 
@@ -96,5 +98,27 @@ ConversionCosts analyze(const ConversionSpec& spec);
 /// Existing data blocks per target stripe for this spec (the
 /// normalization unit; exposed for tests and the trace generator).
 double data_blocks_per_stripe(const ConversionSpec& spec);
+
+/// Table III "single write performance", extended to sub-block writes
+/// (the delta plane of ArrayController::write_range).
+struct SingleWriteCost {
+  double ops = 0.0;        // disk accesses per logical write
+  double bytes = 0.0;      // payload bytes moved per logical write
+  double device_ms = 0.0;  // positional price: each access repositions,
+                           // bytes stream at the sustained rate
+};
+
+/// Average cost of updating `len` bytes of one data block, over every
+/// data cell of `code`. Each affected parity (update_complexity, which
+/// follows propagation through parity-fed chains like RDP's) costs a
+/// read-modify-write; the data cell costs a read plus a write. With
+/// `delta` every access moves only the `len`-byte range; without it
+/// each access is a whole-`block_bytes` RMW. The op count is identical
+/// either way — the delta plane wins purely on bytes, hence on device
+/// time. Throws std::invalid_argument for len == 0 or len > block_bytes.
+SingleWriteCost single_write_cost(const ErasureCode& code,
+                                  std::size_t block_bytes, std::size_t len,
+                                  bool delta = true,
+                                  const sim::DiskParams& disk = {});
 
 }  // namespace c56::mig

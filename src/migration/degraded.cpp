@@ -55,6 +55,37 @@ IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
   }
 }
 
+IoResult read_range_retry(DiskArray& a, int disk, std::int64_t block,
+                          std::size_t offset, std::span<std::uint8_t> out,
+                          const RetryPolicy& policy, IoCounters* counters) {
+  IoResult r;
+  for (int attempt = 1;; ++attempt) {
+    r = a.read_range(disk, block, offset, out);
+    if (counters) ++counters->reads;
+    if (r.ok() || !transient(r.status) || attempt >= policy.max_attempts) {
+      return r;
+    }
+    if (counters) ++counters->retries;
+    backoff(policy, attempt, counters);
+  }
+}
+
+IoResult write_range_retry(DiskArray& a, int disk, std::int64_t block,
+                           std::size_t offset,
+                           std::span<const std::uint8_t> in,
+                           const RetryPolicy& policy, IoCounters* counters) {
+  IoResult r;
+  for (int attempt = 1;; ++attempt) {
+    r = a.write_range(disk, block, offset, in);
+    if (counters) ++counters->writes;
+    if (r.ok() || !transient(r.status) || attempt >= policy.max_attempts) {
+      return r;
+    }
+    if (counters) ++counters->retries;
+    backoff(policy, attempt, counters);
+  }
+}
+
 IoResult xor_chain_read(DiskArray& a, std::span<const BlockAddr> sources,
                         std::span<std::uint8_t> out,
                         const RetryPolicy& policy, IoCounters* counters) {

@@ -41,6 +41,16 @@ IoResult write_block_retry(DiskArray& a, int disk, std::int64_t block,
                            std::span<const std::uint8_t> in,
                            const RetryPolicy& policy, IoCounters* counters);
 
+/// Sub-block variants: same retry discipline over DiskArray's range
+/// I/O. A torn range write is repaired by rewriting the whole range.
+IoResult read_range_retry(DiskArray& a, int disk, std::int64_t block,
+                          std::size_t offset, std::span<std::uint8_t> out,
+                          const RetryPolicy& policy, IoCounters* counters);
+IoResult write_range_retry(DiskArray& a, int disk, std::int64_t block,
+                           std::size_t offset,
+                           std::span<const std::uint8_t> in,
+                           const RetryPolicy& policy, IoCounters* counters);
+
 /// out = XOR of the addressed blocks, each read with retry (`out` is
 /// zeroed first). This is the reconstruct-on-read kernel: pass the
 /// surviving members of the failed block's parity chain. Fails on the

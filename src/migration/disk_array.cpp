@@ -191,6 +191,7 @@ IoResult DiskArray::read_block(int disk, std::int64_t block,
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.reads.inc();
   d.read_runs.inc();
+  d.read_bytes.inc(block_bytes_);
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
     mark_failed(d);
@@ -216,6 +217,7 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.writes.inc();
   d.write_runs.inc();
+  d.write_bytes.inc(block_bytes_);
   const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
   if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
     mark_failed(d);
@@ -239,6 +241,74 @@ IoResult DiskArray::write_block(int disk, std::int64_t block,
   return IoResult::success();
 }
 
+void DiskArray::check_range(int disk, std::int64_t block, std::size_t offset,
+                            std::size_t len) const {
+  check(disk, block);
+  if (len == 0 || offset > block_bytes_ || len > block_bytes_ - offset) {
+    throw std::invalid_argument(
+        "DiskArray: range [" + std::to_string(offset) + ", " +
+        std::to_string(offset + len) + ") outside block of " +
+        std::to_string(block_bytes_) + " bytes");
+  }
+}
+
+IoResult DiskArray::read_range(int disk, std::int64_t block,
+                               std::size_t offset,
+                               std::span<std::uint8_t> out) {
+  check_range(disk, block, offset, out.size());
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.reads.inc();
+  d.read_runs.inc();
+  d.read_bytes.inc(out.size());
+  const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
+  if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
+    mark_failed(d);
+  }
+  if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
+  if (injecting_ &&
+      (is_bad(disk, block) || roll(sector_error_rate_))) {
+    sector_errors_.inc();
+    return IoResult::fail(IoStatus::kSectorError, disk, block);
+  }
+  const auto src = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_ + offset, out.size());
+  std::memcpy(out.data(), src.data(), out.size());
+  return IoResult::success();
+}
+
+IoResult DiskArray::write_range(int disk, std::int64_t block,
+                                std::size_t offset,
+                                std::span<const std::uint8_t> in) {
+  check_range(disk, block, offset, in.size());
+  Disk& d = *disks_[static_cast<std::size_t>(disk)];
+  d.writes.inc();
+  d.write_runs.inc();
+  d.write_bytes.inc(in.size());
+  const std::uint64_t ord = d.ios.fetch_add(1, std::memory_order_relaxed);
+  if (ord >= d.fail_after.load(std::memory_order_relaxed)) {
+    mark_failed(d);
+  }
+  if (d.failed.load()) return IoResult::fail(IoStatus::kDiskFailed, disk, block);
+  const auto dst = d.data.span().subspan(
+      static_cast<std::size_t>(block) * block_bytes_ + offset, in.size());
+  if (injecting_ && roll(torn_write_rate_)) {
+    std::memcpy(dst.data(), in.data(), in.size() / 2);
+    torn_writes_.inc();
+    return IoResult::fail(IoStatus::kTornWrite, disk, block);
+  }
+  std::memcpy(dst.data(), in.data(), in.size());
+  if (injecting_) {
+    // A partial write can't remap the block, so the bad mark stays
+    // unless the range is the whole block.
+    if (offset == 0 && in.size() == block_bytes_) clear_bad(disk, block);
+    if (const auto rot = rot_for_write(disk, block)) {
+      dst[rot->first % in.size()] ^= rot->second;  // flip inside the range
+      silent_corruptions_.inc();
+    }
+  }
+  return IoResult::success();
+}
+
 IoResult DiskArray::read_blocks(int disk, std::int64_t block,
                                 std::int64_t count,
                                 std::span<std::uint8_t> out) {
@@ -249,6 +319,7 @@ IoResult DiskArray::read_blocks(int disk, std::int64_t block,
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.reads.inc(static_cast<std::uint64_t>(count));
   d.read_runs.inc();
+  d.read_bytes.inc(static_cast<std::uint64_t>(count) * block_bytes_);
   const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
                                             std::memory_order_relaxed);
   // Per-block fail_after semantics: block k of the run carries ordinal
@@ -299,6 +370,7 @@ IoResult DiskArray::write_blocks(int disk, std::int64_t block,
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.writes.inc(static_cast<std::uint64_t>(count));
   d.write_runs.inc();
+  d.write_bytes.inc(static_cast<std::uint64_t>(count) * block_bytes_);
   const std::uint64_t ord = d.ios.fetch_add(static_cast<std::uint64_t>(count),
                                             std::memory_order_relaxed);
   const bool was_failed = d.failed.load();
@@ -371,6 +443,26 @@ std::uint64_t DiskArray::write_runs(int disk) const {
   return disks_[static_cast<std::size_t>(disk)]->write_runs.value();
 }
 
+std::uint64_t DiskArray::read_bytes(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->read_bytes.value();
+}
+
+std::uint64_t DiskArray::write_bytes(int disk) const {
+  return disks_[static_cast<std::size_t>(disk)]->write_bytes.value();
+}
+
+std::uint64_t DiskArray::total_read_bytes() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += read_bytes(d);
+  return n;
+}
+
+std::uint64_t DiskArray::total_write_bytes() const {
+  std::uint64_t n = 0;
+  for (int d = 0; d < disks(); ++d) n += write_bytes(d);
+  return n;
+}
+
 std::uint64_t DiskArray::total_read_runs() const {
   std::uint64_t n = 0;
   for (int d = 0; d < disks(); ++d) n += read_runs(d);
@@ -388,6 +480,7 @@ void DiskArray::attach_metrics(obs::Registry& registry,
   metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
     std::uint64_t reads_total = 0, writes_total = 0;
     std::uint64_t read_runs_total = 0, write_runs_total = 0;
+    std::uint64_t read_bytes_total = 0, write_bytes_total = 0;
     for (std::size_t d = 0; d < disks_.size(); ++d) {
       const Disk& disk = *disks_[d];
       const std::string label = "{disk=\"" + std::to_string(d) + "\"}";
@@ -399,11 +492,15 @@ void DiskArray::attach_metrics(obs::Registry& registry,
       writes_total += disk.writes.value();
       read_runs_total += disk.read_runs.value();
       write_runs_total += disk.write_runs.value();
+      read_bytes_total += disk.read_bytes.value();
+      write_bytes_total += disk.write_bytes.value();
     }
     c.counter(prefix + "_reads_total", reads_total);
     c.counter(prefix + "_writes_total", writes_total);
     c.counter(prefix + "_read_runs_total", read_runs_total);
     c.counter(prefix + "_write_runs_total", write_runs_total);
+    c.counter(prefix + "_read_bytes_total", read_bytes_total);
+    c.counter(prefix + "_write_bytes_total", write_bytes_total);
     c.counter(prefix + "_sector_errors", sector_errors_.value());
     c.counter(prefix + "_torn_writes", torn_writes_.value());
     c.counter(prefix + "_silent_corruptions", silent_corruptions_.value());

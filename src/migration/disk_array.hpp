@@ -55,6 +55,21 @@ class DiskArray {
   IoResult write_block(int disk, std::int64_t block,
                        std::span<const std::uint8_t> in);
 
+  /// Counted sub-block access: transfer out.size()/in.size() bytes at
+  /// `offset` within one block. Counts exactly like a single-block
+  /// access (one transfer, one run, one fail_after ordinal) — the
+  /// savings a range access models are bytes moved, not repositions.
+  /// Fault semantics mirror the whole-block calls: a sector error or a
+  /// failed disk transfers nothing; a torn write persists only the
+  /// first half of the *range*; a silent-corruption flip lands inside
+  /// the written range. A bad block is only remapped (cleared) by a
+  /// full-block rewrite — a partial write leaves the bad mark in place.
+  /// The range must be non-empty and inside the block.
+  IoResult read_range(int disk, std::int64_t block, std::size_t offset,
+                      std::span<std::uint8_t> out);
+  IoResult write_range(int disk, std::int64_t block, std::size_t offset,
+                       std::span<const std::uint8_t> in);
+
   /// Vectored counted access over `count` consecutive blocks of one
   /// disk. Bounds are checked once for the whole run; the buffer must
   /// hold exactly count * block_bytes(). The run counts `count`
@@ -90,6 +105,14 @@ class DiskArray {
   std::uint64_t write_runs(int disk) const;
   std::uint64_t total_read_runs() const;
   std::uint64_t total_write_runs() const;
+  /// Payload bytes of counted accesses, tallied at issue like
+  /// reads()/writes(): a block access adds block_bytes(), a run
+  /// count * block_bytes(), and a range access only its range length —
+  /// the byte savings the sub-block plane is measured by.
+  std::uint64_t read_bytes(int disk) const;
+  std::uint64_t write_bytes(int disk) const;
+  std::uint64_t total_read_bytes() const;
+  std::uint64_t total_write_bytes() const;
 
   /// Flip `mask` into the stored byte at `offset` of a block, with no
   /// counter update and no IoResult: the direct silent-corruption
@@ -137,6 +160,8 @@ class DiskArray {
     obs::Counter writes;
     obs::Counter read_runs;
     obs::Counter write_runs;
+    obs::Counter read_bytes;
+    obs::Counter write_bytes;
     std::atomic<std::uint64_t> ios{0};  // reads + writes, for fail_after
     std::atomic<std::uint64_t> fail_after{kNeverFails};
     std::atomic<bool> failed{false};
@@ -147,6 +172,8 @@ class DiskArray {
 
   void check(int disk, std::int64_t block) const;  // throws out_of_range
   void check_run(int disk, std::int64_t block, std::int64_t count) const;
+  void check_range(int disk, std::int64_t block, std::size_t offset,
+                   std::size_t len) const;
   bool roll(double rate);  // one injection-RNG draw under fault_mu_
   bool is_bad(int disk, std::int64_t block) const;
   void clear_bad(int disk, std::int64_t block);

@@ -692,6 +692,200 @@ IoResult OnlineMigrator::write_block(std::int64_t logical,
   return IoResult::success();
 }
 
+IoResult OnlineMigrator::write_range(std::int64_t logical, std::size_t offset,
+                                     std::span<const std::uint8_t> in) {
+  const std::size_t bs = array_.block_bytes();
+  if (offset > bs || in.size() > bs - offset) {
+    throw std::out_of_range("OnlineMigrator::write_range: bad range");
+  }
+  if (in.empty()) return IoResult::success();  // validated no-op
+  if (offset == 0 && in.size() == bs) return write_block(logical, in);
+
+  const Locus l = locate(logical);
+  const int p = code_.p();
+  const std::size_t len = in.size();
+  pending_writers_.fetch_add(1);
+  // Wake the workers once the write is out of the way (or bailed out).
+  struct Notifier {
+    std::condition_variable& cv;
+    ~Notifier() { cv.notify_all(); }
+  } notify{cv_};
+  std::shared_lock ops(ops_mu_);
+  std::unique_lock gl(group_lock(l.group));
+  pending_writers_.fetch_sub(1);
+  if (running_.load()) {
+    std::lock_guard sk(stats_mu_);
+    ++stats_.interruptions;
+  }
+
+  // Old bytes of the range: a ranged read off the healthy disk, else a
+  // whole-block reconstruction through the horizontal parity (the XOR
+  // chains cover full blocks; only the range is used downstream).
+  PooledBuffer old_blk(bs), par(bs);
+  bool have_old = false;
+  if (!array_.disk_failed(l.disk)) {
+    IoCounters c;
+    const IoResult r = read_range_retry(array_, l.disk, l.block, offset,
+                                        old_blk.span().subspan(offset, len),
+                                        retry_, &c);
+    {
+      std::lock_guard sk(stats_mu_);
+      stats_.app_reads += c.reads;
+      stats_.retries += c.retries;
+      stats_.backoff_us += c.backoff_us;
+    }
+    have_old = r.ok();
+  }
+  if (!have_old) {
+    const IoResult oldr = read_source(l.disk, l.block, old_blk.span(), false);
+    if (!oldr.ok()) {
+      // The pre-image is gone: the write (and the block) cannot be kept
+      // consistent — the same data-loss event write_block aborts on.
+      abort_from_io("application write lost logical block " +
+                    std::to_string(logical) + ": " + describe(oldr));
+      return oldr;
+    }
+  }
+  const std::span<const std::uint8_t> old_range =
+      old_blk.span().subspan(offset, len);
+
+  // Horizontal parity: always maintained (it is the RAID-5 parity).
+  // parity[offset, offset+len) ^= new ^ old — the chain is bytewise, so
+  // the delta lands at the same intra-block offset.
+  const int hpar_disk = p - 2 - l.row;
+  bool parity_updated = false;
+  if (!array_.disk_failed(hpar_disk)) {
+    IoCounters c;
+    IoResult r = read_range_retry(array_, hpar_disk, l.block, offset,
+                                  par.span().subspan(offset, len), retry_, &c);
+    {
+      std::lock_guard sk(stats_mu_);
+      stats_.app_reads += c.reads;
+      stats_.retries += c.retries;
+      stats_.backoff_us += c.backoff_us;
+    }
+    bool have_full_par = false;
+    if (!r.ok()) {
+      // A latent sector error under the parity range: recover the whole
+      // block through the row XOR, exactly as write_block does.
+      r = read_source(hpar_disk, l.block, par.span(), false);
+      have_full_par = r.ok();
+    }
+    if (r.ok()) {
+      xor_delta_into(par.span().subspan(offset, len), old_range, in);
+      IoCounters wc;
+      const IoResult w =
+          have_full_par
+              ? write_block_retry(array_, hpar_disk, l.block, par.span(),
+                                  retry_, &wc)
+              : write_range_retry(array_, hpar_disk, l.block, offset,
+                                  par.span().subspan(offset, len), retry_,
+                                  &wc);
+      {
+        std::lock_guard sk(stats_mu_);
+        stats_.app_writes += wc.writes;
+        stats_.retries += wc.retries;
+        stats_.backoff_us += wc.backoff_us;
+      }
+      parity_updated = w.ok();
+    }
+  }
+  if (!parity_updated) {
+    {
+      std::lock_guard sk(stats_mu_);
+      ++stats_.degraded_writes;
+    }
+    if (events_) {
+      emit_event(obs::EventLevel::kWarn,
+                 "degraded write: horizontal parity not updated for logical "
+                 "block " +
+                     std::to_string(logical),
+                 l.group, -1, hpar_disk, l.block, "degraded_write");
+    }
+  }
+
+  // Data range itself.
+  bool data_written = false;
+  if (!array_.disk_failed(l.disk)) {
+    IoCounters c;
+    const IoResult w =
+        write_range_retry(array_, l.disk, l.block, offset, in, retry_, &c);
+    {
+      std::lock_guard sk(stats_mu_);
+      stats_.app_writes += c.writes;
+      stats_.retries += c.retries;
+      stats_.backoff_us += c.backoff_us;
+    }
+    data_written = w.ok();
+  } else {
+    std::lock_guard sk(stats_mu_);
+    ++stats_.degraded_writes;
+  }
+
+  if (!data_written && !parity_updated) {
+    // Neither replica of the update is durable: unrecoverable.
+    const IoResult res = IoResult::fail(IoStatus::kDiskFailed, l.disk, l.block);
+    abort_from_io("application write lost logical block " +
+                  std::to_string(logical) + ": data and parity disks failed");
+    return res;
+  }
+
+  // Diagonal parity: the trust-domain rule is write_block's — delta
+  // only into a chain the conversion watermark has already generated;
+  // an unconverted group's owner folds the new value in when it gets
+  // there. rows_done_ is read under the same group lock the owner
+  // stores it under.
+  if (new_disk_ >= 0) {
+    const int diag_row = pmod(l.row + l.disk + 1, p);
+    const bool generated =
+        rows_done_[l.group].load(std::memory_order_acquire) > diag_row;
+    if (generated) {
+      if (!array_.disk_failed(new_disk_)) {
+        const std::int64_t db = l.group * (p - 1) + diag_row;
+        IoCounters c;
+        const IoResult r =
+            read_range_retry(array_, new_disk_, db, offset,
+                             par.span().subspan(offset, len), retry_, &c);
+        {
+          std::lock_guard sk(stats_mu_);
+          stats_.app_reads += c.reads;
+          stats_.retries += c.retries;
+          stats_.backoff_us += c.backoff_us;
+        }
+        if (r.ok()) {
+          xor_delta_into(par.span().subspan(offset, len), old_range, in);
+          IoCounters wc;
+          const IoResult w =
+              write_range_retry(array_, new_disk_, db, offset,
+                                par.span().subspan(offset, len), retry_, &wc);
+          {
+            std::lock_guard sk(stats_mu_);
+            stats_.app_writes += wc.writes;
+            stats_.retries += wc.retries;
+            stats_.backoff_us += wc.backoff_us;
+          }
+          if (!w.ok()) {
+            std::lock_guard sk(stats_mu_);
+            ++stats_.degraded_writes;
+          }
+        } else if (r.status == IoStatus::kSectorError) {
+          // The stored diagonal parity is unreadable: regenerate its
+          // whole chain from the (already updated) data.
+          generate_diag(l.group, diag_row);
+        } else {
+          std::lock_guard sk(stats_mu_);
+          ++stats_.degraded_writes;
+        }
+      } else {
+        std::lock_guard sk(stats_mu_);
+        ++stats_.degraded_writes;
+      }
+    }
+  }
+
+  return IoResult::success();
+}
+
 OnlineStats OnlineMigrator::stats() const {
   std::lock_guard sk(stats_mu_);
   return stats_;

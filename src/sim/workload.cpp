@@ -10,7 +10,7 @@ namespace c56::sim {
 
 std::vector<Request> make_workload(const WorkloadParams& p) {
   if (p.disks <= 0 || p.blocks_per_disk <= 0 || p.iops <= 0.0 ||
-      p.horizon_ms <= 0.0) {
+      p.horizon_ms <= 0.0 || p.write_bytes > p.block_bytes) {
     throw std::invalid_argument("make_workload: bad parameters");
   }
   Rng rng(p.seed);
@@ -65,8 +65,9 @@ std::vector<Request> make_workload(const WorkloadParams& p) {
     Request r;
     r.disk = static_cast<int>(block % p.disks);
     r.lba = static_cast<std::uint64_t>(block / p.disks) * sectors;
-    r.bytes = p.block_bytes;
     r.op = rng.next_double() < p.read_fraction ? Op::kRead : Op::kWrite;
+    r.bytes = (r.op == Op::kWrite && p.write_bytes != 0) ? p.write_bytes
+                                                         : p.block_bytes;
     r.issue_ms = t;
     r.tag = p.tag;
     out.push_back(r);

@@ -21,6 +21,10 @@ struct WorkloadParams {
   double iops = 200.0;            // mean arrival rate
   double horizon_ms = 1000.0;     // generation window
   double read_fraction = 0.7;
+  /// Bytes per write request (0 = whole block). A non-zero value below
+  /// block_bytes models the page-sized small writes that drive the
+  /// controller's sub-block delta plane; reads still fetch full blocks.
+  std::uint32_t write_bytes = 0;
   AddressPattern pattern = AddressPattern::kUniform;
   double zipf_theta = 0.99;       // skew for kZipf
   int tag = 1;                    // request tag for latency reporting

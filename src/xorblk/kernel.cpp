@@ -74,6 +74,26 @@ void scalar_xor_to(void* dst, const void* a, const void* b, std::size_t n) {
   for (; n > 0; --n) *d++ = static_cast<std::uint8_t>(*x++ ^ *y++);
 }
 
+void scalar_xor_delta(void* dst, const void* a, const void* b,
+                      std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  while (n >= 8) {
+    std::uint64_t t, u, v;
+    std::memcpy(&t, d, 8);
+    std::memcpy(&u, x, 8);
+    std::memcpy(&v, y, 8);
+    t ^= u ^ v;
+    std::memcpy(d, &t, 8);
+    d += 8;
+    x += 8;
+    y += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n) *d++ ^= static_cast<std::uint8_t>(*x++ ^ *y++);
+}
+
 void scalar_xor_accumulate(void* dst, const void* const* srcs,
                            std::size_t nsrcs, std::size_t n) {
   auto* d = static_cast<std::uint8_t*>(dst);
@@ -129,8 +149,8 @@ bool scalar_all_zero(const void* p, std::size_t n) {
 }
 
 constexpr XorKernel kScalarKernel{
-    XorIsa::kScalar,       "scalar",        &scalar_xor_into,
-    &scalar_xor_to,        &scalar_xor_accumulate,
+    XorIsa::kScalar,       "scalar",           &scalar_xor_into,
+    &scalar_xor_to,        &scalar_xor_delta,  &scalar_xor_accumulate,
     &scalar_all_zero,
 };
 

@@ -1,6 +1,6 @@
 #pragma once
 // Kernel registry behind the xor.hpp entry points. Each XorKernel is a
-// complete, self-contained implementation of the four block primitives
+// complete, self-contained implementation of the five block primitives
 // for one ISA. The registry is built once at first use: compile-time
 // architecture gating decides which variants exist in the binary
 // (CMake probes the intrinsics; -DC56_DISABLE_SIMD=ON compiles them
@@ -32,6 +32,10 @@ struct XorKernel {
   void (*xor_into)(void* dst, const void* src, std::size_t n) = nullptr;
   void (*xor_to)(void* dst, const void* a, const void* b,
                  std::size_t n) = nullptr;
+  // dst ^= a ^ b in one pass — the incremental parity-update primitive
+  // (parity ^= new_data ^ old_data without materializing the delta).
+  void (*xor_delta)(void* dst, const void* a, const void* b,
+                    std::size_t n) = nullptr;
   void (*xor_accumulate)(void* dst, const void* const* srcs,
                          std::size_t nsrcs, std::size_t n) = nullptr;
   bool (*all_zero)(const void* p, std::size_t n) = nullptr;

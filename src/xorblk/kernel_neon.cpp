@@ -53,6 +53,35 @@ void neon_xor_into(void* dst, const void* src, std::size_t n) {
   neon_xor_to(dst, dst, src, n);
 }
 
+void neon_xor_delta(void* dst, const void* a, const void* b, std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 64 <= n; off += 64) {
+    uint8x16_t v0 = veorq_u8(vld1q_u8(d + off),
+                             veorq_u8(vld1q_u8(x + off), vld1q_u8(y + off)));
+    uint8x16_t v1 =
+        veorq_u8(vld1q_u8(d + off + 16),
+                 veorq_u8(vld1q_u8(x + off + 16), vld1q_u8(y + off + 16)));
+    uint8x16_t v2 =
+        veorq_u8(vld1q_u8(d + off + 32),
+                 veorq_u8(vld1q_u8(x + off + 32), vld1q_u8(y + off + 32)));
+    uint8x16_t v3 =
+        veorq_u8(vld1q_u8(d + off + 48),
+                 veorq_u8(vld1q_u8(x + off + 48), vld1q_u8(y + off + 48)));
+    vst1q_u8(d + off, v0);
+    vst1q_u8(d + off + 16, v1);
+    vst1q_u8(d + off + 32, v2);
+    vst1q_u8(d + off + 48, v3);
+  }
+  for (; off + 16 <= n; off += 16) {
+    vst1q_u8(d + off, veorq_u8(vld1q_u8(d + off), veorq_u8(vld1q_u8(x + off),
+                                                           vld1q_u8(y + off))));
+  }
+  for (; off < n; ++off) d[off] ^= static_cast<std::uint8_t>(x[off] ^ y[off]);
+}
+
 void neon_xor_accumulate(void* dst, const void* const* srcs,
                          std::size_t nsrcs, std::size_t n) {
   auto* d = static_cast<std::uint8_t*>(dst);
@@ -106,7 +135,8 @@ bool neon_all_zero(const void* p, std::size_t n) {
 const XorKernel kNeonKernel{
     XorIsa::kNeon,        "neon",
     &neon_xor_into,       &neon_xor_to,
-    &neon_xor_accumulate, &neon_all_zero,
+    &neon_xor_delta,      &neon_xor_accumulate,
+    &neon_all_zero,
 };
 
 }  // namespace

@@ -57,6 +57,20 @@ inline void tail_xor_to(std::uint8_t* d, const std::uint8_t* x,
   for (; off < n; ++off) d[off] = static_cast<std::uint8_t>(x[off] ^ y[off]);
 }
 
+inline void tail_xor_delta(std::uint8_t* d, const std::uint8_t* x,
+                           const std::uint8_t* y, std::size_t off,
+                           std::size_t n) {
+  for (; off + 8 <= n; off += 8) {
+    std::uint64_t t, u, v;
+    std::memcpy(&t, d + off, 8);
+    std::memcpy(&u, x + off, 8);
+    std::memcpy(&v, y + off, 8);
+    t ^= u ^ v;
+    std::memcpy(d + off, &t, 8);
+  }
+  for (; off < n; ++off) d[off] ^= static_cast<std::uint8_t>(x[off] ^ y[off]);
+}
+
 #ifdef C56_HAVE_AVX2
 
 __attribute__((target("avx2"))) void avx2_xor_to(void* dst, const void* a,
@@ -99,6 +113,56 @@ __attribute__((target("avx2"))) void avx2_xor_to(void* dst, const void* a,
 __attribute__((target("avx2"))) void avx2_xor_into(void* dst, const void* src,
                                                    std::size_t n) {
   avx2_xor_to(dst, dst, src, n);
+}
+
+__attribute__((target("avx2"))) void avx2_xor_delta(void* dst, const void* a,
+                                                    const void* b,
+                                                    std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 128 <= n; off += 128) {
+    __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + off));
+    __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + off + 32));
+    __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + off + 64));
+    __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + off + 96));
+    v0 = _mm256_xor_si256(
+        v0, _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off)),
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + off))));
+    v1 = _mm256_xor_si256(
+        v1, _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(x + off + 32)),
+                             _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 y + off + 32))));
+    v2 = _mm256_xor_si256(
+        v2, _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(x + off + 64)),
+                             _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 y + off + 64))));
+    v3 = _mm256_xor_si256(
+        v3, _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(x + off + 96)),
+                             _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                 y + off + 96))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 32), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 64), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off + 96), v3);
+  }
+  for (; off + 32 <= n; off += 32) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + off)),
+        _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + off)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + off))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + off), v);
+  }
+  tail_xor_delta(d, x, y, off, n);
 }
 
 __attribute__((target("avx2"))) void avx2_xor_accumulate(
@@ -167,7 +231,8 @@ __attribute__((target("avx2"))) bool avx2_all_zero(const void* p,
 const XorKernel kAvx2Kernel{
     XorIsa::kAvx2,        "avx2",
     &avx2_xor_into,       &avx2_xor_to,
-    &avx2_xor_accumulate, &avx2_all_zero,
+    &avx2_xor_delta,      &avx2_xor_accumulate,
+    &avx2_all_zero,
 };
 
 #endif  // C56_HAVE_AVX2
@@ -207,6 +272,45 @@ __attribute__((target("avx512f"))) void avx512_xor_into(void* dst,
                                                         const void* src,
                                                         std::size_t n) {
   avx512_xor_to(dst, dst, src, n);
+}
+
+__attribute__((target("avx512f"))) void avx512_xor_delta(void* dst,
+                                                         const void* a,
+                                                         const void* b,
+                                                         std::size_t n) {
+  auto* d = static_cast<std::uint8_t*>(dst);
+  const auto* x = static_cast<const std::uint8_t*>(a);
+  const auto* y = static_cast<const std::uint8_t*>(b);
+  std::size_t off = 0;
+  for (; off + 256 <= n; off += 256) {
+    __m512i v0 = _mm512_loadu_si512(d + off);
+    __m512i v1 = _mm512_loadu_si512(d + off + 64);
+    __m512i v2 = _mm512_loadu_si512(d + off + 128);
+    __m512i v3 = _mm512_loadu_si512(d + off + 192);
+    v0 = _mm512_xor_si512(v0, _mm512_xor_si512(_mm512_loadu_si512(x + off),
+                                               _mm512_loadu_si512(y + off)));
+    v1 = _mm512_xor_si512(
+        v1, _mm512_xor_si512(_mm512_loadu_si512(x + off + 64),
+                             _mm512_loadu_si512(y + off + 64)));
+    v2 = _mm512_xor_si512(
+        v2, _mm512_xor_si512(_mm512_loadu_si512(x + off + 128),
+                             _mm512_loadu_si512(y + off + 128)));
+    v3 = _mm512_xor_si512(
+        v3, _mm512_xor_si512(_mm512_loadu_si512(x + off + 192),
+                             _mm512_loadu_si512(y + off + 192)));
+    _mm512_storeu_si512(d + off, v0);
+    _mm512_storeu_si512(d + off + 64, v1);
+    _mm512_storeu_si512(d + off + 128, v2);
+    _mm512_storeu_si512(d + off + 192, v3);
+  }
+  for (; off + 64 <= n; off += 64) {
+    _mm512_storeu_si512(
+        d + off,
+        _mm512_xor_si512(_mm512_loadu_si512(d + off),
+                         _mm512_xor_si512(_mm512_loadu_si512(x + off),
+                                          _mm512_loadu_si512(y + off))));
+  }
+  tail_xor_delta(d, x, y, off, n);
 }
 
 __attribute__((target("avx512f"))) void avx512_xor_accumulate(
@@ -270,7 +374,8 @@ __attribute__((target("avx512f"))) bool avx512_all_zero(const void* p,
 const XorKernel kAvx512Kernel{
     XorIsa::kAvx512,        "avx512",
     &avx512_xor_into,       &avx512_xor_to,
-    &avx512_xor_accumulate, &avx512_all_zero,
+    &avx512_xor_delta,      &avx512_xor_accumulate,
+    &avx512_all_zero,
 };
 
 #endif  // C56_HAVE_AVX512

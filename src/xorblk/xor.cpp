@@ -14,6 +14,11 @@ void xor_to(void* dst, const void* a, const void* b, std::size_t n) noexcept {
   active_kernel().xor_to(dst, a, b, n);
 }
 
+void xor_delta_into(void* dst, const void* a, const void* b,
+                    std::size_t n) noexcept {
+  active_kernel().xor_delta(dst, a, b, n);
+}
+
 void xor_accumulate(void* dst, const void* const* srcs, std::size_t nsrcs,
                     std::size_t n) noexcept {
   active_kernel().xor_accumulate(dst, srcs, nsrcs, n);
@@ -34,6 +39,13 @@ void xor_to(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
   assert(dst.size() == a.size());
   assert(dst.size() == b.size());
   xor_to(dst.data(), a.data(), b.data(), dst.size());
+}
+
+void xor_delta_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) noexcept {
+  assert(dst.size() == a.size());
+  assert(dst.size() == b.size());
+  xor_delta_into(dst.data(), a.data(), b.data(), dst.size());
 }
 
 void xor_accumulate(std::span<std::uint8_t> dst,

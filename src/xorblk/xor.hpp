@@ -18,6 +18,12 @@ void xor_into(void* dst, const void* src, std::size_t n) noexcept;
 /// dst = a ^ b over n bytes. dst may alias a or b exactly (same pointer).
 void xor_to(void* dst, const void* a, const void* b, std::size_t n) noexcept;
 
+/// dst ^= a ^ b over n bytes in one pass — the incremental parity
+/// update: parity ^= new_data ^ old_data without materializing the
+/// delta. dst may alias a or b exactly (same pointer).
+void xor_delta_into(void* dst, const void* a, const void* b,
+                    std::size_t n) noexcept;
+
 /// dst = srcs[0] ^ srcs[1] ^ ... ^ srcs[nsrcs-1] over n bytes, computed
 /// in one cache-friendly pass (each source is streamed exactly once and
 /// dst is written exactly once). nsrcs == 0 zeroes dst. dst may alias
@@ -33,6 +39,8 @@ void xor_into(std::span<std::uint8_t> dst,
               std::span<const std::uint8_t> src) noexcept;
 void xor_to(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
             std::span<const std::uint8_t> b) noexcept;
+void xor_delta_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) noexcept;
 void xor_accumulate(std::span<std::uint8_t> dst,
                     std::span<const std::uint8_t* const> srcs) noexcept;
 bool all_zero(std::span<const std::uint8_t> s) noexcept;

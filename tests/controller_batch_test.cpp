@@ -18,6 +18,7 @@
 #include "migration/controller.hpp"
 #include "migration/fault.hpp"
 #include "util/rng.hpp"
+#include "xorblk/xor.hpp"
 
 namespace c56::mig {
 namespace {
@@ -352,6 +353,180 @@ TEST(BatchPlanner, RangedEdgeCases) {
   EXPECT_THROW(ctrl.read(0, -1, buf.span()), std::out_of_range);
   EXPECT_THROW(ctrl.write(-1, 1, buf.span()), std::out_of_range);
   EXPECT_THROW(ctrl.write(0, -1, buf.span()), std::out_of_range);
+}
+
+// Sub-block write_range edge cases: zero-length ranges are validated
+// no-ops, and offsets/lengths that leave the block — including values
+// that would overflow the offset+len sum — throw instead of wrapping.
+// Batch entries are validated up front: one bad entry aborts the whole
+// batch before any disk I/O.
+TEST(SubBlockPlane, RangeEdgeCases) {
+  auto code = make_code(CodeId::kCode56, 5);
+  DiskArray array(code->cols(), 2LL * code->rows(), kBlock);
+  ArrayController ctrl(array, std::move(code));
+  const std::int64_t logical = ctrl.logical_blocks();
+  Buffer buf(kBlock);
+  Rng rng(6);
+  rng.fill(buf.data(), buf.size());
+  const auto bs = static_cast<std::int64_t>(kBlock);
+
+  // Exact-end ranges are valid.
+  ctrl.write_range(0, bs - 1, buf.span().subspan(0, 1));
+  ctrl.write_range(logical - 1, 0, buf.span());
+  ctrl.read_range(0, bs - 1, buf.span().subspan(0, 1));
+
+  // Zero-length ranges anywhere in [0, block_bytes] are no-ops with no
+  // disk traffic, single and batched alike.
+  const std::uint64_t r0 = array.total_reads(), w0 = array.total_writes();
+  ctrl.write_range(0, 0, buf.span().subspan(0, 0));
+  ctrl.write_range(0, bs, buf.span().subspan(0, 0));
+  ctrl.read_range(0, bs, buf.span().subspan(0, 0));
+  const ArrayController::SubWrite empty{1, 7, buf.span().subspan(0, 0)};
+  ctrl.write_range(std::span<const ArrayController::SubWrite>{&empty, 1});
+  EXPECT_EQ(array.total_reads(), r0);
+  EXPECT_EQ(array.total_writes(), w0);
+
+  // Out-of-block and overflowing ranges throw instead of wrapping.
+  const auto max64 = std::numeric_limits<std::int64_t>::max();
+  EXPECT_THROW(ctrl.write_range(0, -1, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(0, bs, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(0, bs - 1, buf.span().subspan(0, 2)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(0, max64, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(-1, 0, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(logical, 0, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.write_range(max64, 0, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.read_range(0, max64, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(ctrl.read_range(0, -1, buf.span().subspan(0, 1)),
+               std::out_of_range);
+
+  // One invalid batch entry rejects the whole batch before any I/O.
+  const std::uint64_t r1 = array.total_reads(), w1 = array.total_writes();
+  const ArrayController::SubWrite bad[] = {
+      {0, 0, buf.span().subspan(0, 4)},
+      {1, bs - 1, buf.span().subspan(0, 2)},  // leaves the block
+  };
+  EXPECT_THROW(ctrl.write_range(std::span<const ArrayController::SubWrite>(
+                   bad, 2)),
+               std::out_of_range);
+  EXPECT_EQ(array.total_reads(), r1);
+  EXPECT_EQ(array.total_writes(), w1);
+  EXPECT_TRUE(ctrl.scrub().empty());
+
+  // The promotion knob validates its domain.
+  EXPECT_THROW(ctrl.set_subblock_promote_pct(0), std::invalid_argument);
+  EXPECT_THROW(ctrl.set_subblock_promote_pct(101), std::invalid_argument);
+  ctrl.set_subblock_promote_pct(1);
+  ctrl.set_subblock_promote_pct(100);
+}
+
+/// DiskArray range primitives: a range access counts like one block
+/// access (one transfer, one run) but tallies only its range length in
+/// the byte counters; whole-block and vectored accesses tally
+/// block-sized bytes.
+TEST(RangeIo, CountsOneAccessButOnlyRangeBytes) {
+  DiskArray a(2, 16, kBlock);
+  Buffer buf(8 * kBlock);
+  Rng rng(2);
+  rng.fill(buf.data(), buf.size());
+
+  EXPECT_TRUE(a.write_range(0, 3, 5, buf.span().subspan(0, 7)).ok());
+  EXPECT_EQ(a.writes(0), 1u);
+  EXPECT_EQ(a.write_runs(0), 1u);
+  EXPECT_EQ(a.write_bytes(0), 7u);
+  EXPECT_TRUE(a.read_range(0, 3, 5, buf.span().subspan(0, 7)).ok());
+  EXPECT_EQ(a.reads(0), 1u);
+  EXPECT_EQ(a.read_runs(0), 1u);
+  EXPECT_EQ(a.read_bytes(0), 7u);
+
+  // Block and vectored accesses tally full block sizes.
+  EXPECT_TRUE(a.write_block(0, 0, buf.span().subspan(0, kBlock)).ok());
+  EXPECT_EQ(a.write_bytes(0), 7u + kBlock);
+  EXPECT_TRUE(a.write_blocks(0, 4, 8, buf.span()).ok());
+  EXPECT_EQ(a.write_bytes(0), 7u + 9 * kBlock);
+  EXPECT_EQ(a.total_write_bytes(), 7u + 9 * kBlock);
+  EXPECT_EQ(a.total_read_bytes(), 7u);
+
+  // Bounds: empty ranges and ranges leaving the block are rejected
+  // (invalid_argument, like the vectored calls), bad coordinates throw
+  // out_of_range — all before any transfer or counter update.
+  const std::uint64_t rr = a.reads(0), wr = a.writes(0);
+  EXPECT_THROW(a.read_range(0, 0, 0, buf.span().subspan(0, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(a.read_range(0, 0, kBlock, buf.span().subspan(0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(a.write_range(0, 0, kBlock - 1, buf.span().subspan(0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(a.write_range(0, 16, 0, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_THROW(a.write_range(2, 0, 0, buf.span().subspan(0, 1)),
+               std::out_of_range);
+  EXPECT_EQ(a.reads(0), rr);
+  EXPECT_EQ(a.writes(0), wr);
+}
+
+/// Range fault semantics: a failed disk or bad block transfers
+/// nothing; a torn range persists only the first half of the *range*;
+/// a partial write does not remap a bad block (only a full-block
+/// rewrite clears the mark).
+TEST(RangeIo, FaultSemanticsMirrorBlockIo) {
+  DiskArray a(1, 16, kBlock);
+  Buffer buf(kBlock);
+  Rng rng(3);
+  rng.fill(buf.data(), buf.size());
+  ASSERT_TRUE(a.write_block(0, 5, buf.span()).ok());
+
+  FaultPlan plan;
+  plan.bad_blocks.push_back({0, 5});
+  a.set_fault_plan(plan);
+
+  // Bad block: range reads report the sector error and move no bytes.
+  Buffer got(kBlock);
+  std::fill(got.span().begin(), got.span().end(), 0xAA);
+  EXPECT_EQ(a.read_range(0, 5, 8, got.span().subspan(0, 8)).status,
+            IoStatus::kSectorError);
+  EXPECT_EQ(got.span()[0], 0xAA);
+
+  // A partial rewrite leaves the bad mark in place...
+  EXPECT_TRUE(a.write_range(0, 5, 8, buf.span().subspan(0, 8)).ok());
+  EXPECT_EQ(a.read_range(0, 5, 8, got.span().subspan(0, 8)).status,
+            IoStatus::kSectorError);
+  // ...and only a full-block rewrite remaps it.
+  EXPECT_TRUE(a.write_block(0, 5, buf.span()).ok());
+  EXPECT_TRUE(a.read_range(0, 5, 8, got.span().subspan(0, 8)).ok());
+
+  // Torn range write: first half of the range persists, rest is stale.
+  DiskArray t(1, 4, kBlock);
+  ASSERT_TRUE(t.write_block(0, 0, buf.span()).ok());
+  FaultPlan torn;
+  torn.torn_write_rate = 1.0;
+  t.set_fault_plan(torn);
+  Buffer neu(kBlock);
+  rng.fill(neu.data(), neu.size());
+  const IoResult r = t.write_range(0, 0, 8, neu.span().subspan(0, 16));
+  EXPECT_EQ(r.status, IoStatus::kTornWrite);
+  const auto stored = t.raw_block(0, 0);
+  EXPECT_TRUE(std::equal(neu.span().begin(), neu.span().begin() + 8,
+                         stored.begin() + 8));
+  EXPECT_TRUE(std::equal(buf.span().begin() + 16, buf.span().begin() + 24,
+                         stored.begin() + 16));
+
+  // Failed disk: no bytes move; the counters still tally the attempt
+  // at issue, exactly like reads()/writes() for block I/O.
+  DiskArray f(1, 4, kBlock);
+  f.fail_disk(0);
+  const std::uint64_t wb = f.write_bytes(0);
+  EXPECT_EQ(f.write_range(0, 1, 0, buf.span().subspan(0, 4)).status,
+            IoStatus::kDiskFailed);
+  EXPECT_EQ(f.write_bytes(0), wb + 4);
+  EXPECT_TRUE(all_zero(f.raw_block(0, 1)));
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "scrub/scrubber.hpp"
 #include "util/rng.hpp"
 #include "xorblk/xor.hpp"
 
@@ -209,6 +210,105 @@ TEST(OnlineStress, ObservabilityRacesEightWorkerConversion) {
   EXPECT_EQ(rows->gauge, groups * (p - 1));
   obs::set_events_enabled(false);
   obs::set_metrics_enabled(false);
+}
+
+TEST(OnlineStress, PartialWritersScrubberRaceFourWorkerConversion) {
+  // The sub-block delta plane under real concurrency: three partial
+  // writers issuing randomly shaped write_range ops (1-byte pokes,
+  // exact block-end suffixes, unaligned interiors, the odd full
+  // block), a background Scrubber walking the groups through
+  // scrub_group's trust domains, and a four-worker conversion — all on
+  // one array. The per-stripe lock protocol means the scrubber must
+  // never observe a half-applied delta: no stripe may ever scan dirty.
+  // This is a TSan target (CI reruns the suite under -DC56_SANITIZE=tsan).
+  const int p = 7, m = p - 1;
+  const std::int64_t groups = 16;
+  DiskArray array(m, groups * (p - 1), kBlock);
+  fill_raid5(array, m, 0xC56'5B0C);
+
+  OnlineMigrator mig(array, p);
+  mig.set_workers(4);
+  scrub::Scrubber scrubber(array, mig);
+  scrubber.set_interval_ms(0);
+
+  const std::int64_t logical = mig.logical_blocks();
+  constexpr int kWriters = 3;
+  const std::int64_t share = logical / kWriters;
+  ASSERT_GT(share, 0);
+  std::vector<std::map<std::int64_t, Buffer>> models(kWriters);
+
+  scrubber.start();
+  mig.start();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        const std::int64_t lo = w * share;
+        const std::int64_t hi = w + 1 == kWriters ? logical : lo + share;
+        Rng rng(0x5B0C + static_cast<std::uint64_t>(w));
+        auto& model = models[static_cast<std::size_t>(w)];
+        Buffer buf(kBlock), got(kBlock);
+        for (int i = 0; i < 400; ++i) {
+          const std::int64_t l =
+              lo + static_cast<std::int64_t>(rng.next_below(
+                       static_cast<std::uint64_t>(hi - lo)));
+          auto it = model.find(l);
+          if (it == model.end()) {
+            // First touch: learn the block so the model stays exact.
+            ASSERT_TRUE(mig.read_block(l, got.span()).ok());
+            it = model.emplace(l, got).first;
+          }
+          if (rng.next_below(4) == 0) {
+            ASSERT_TRUE(mig.read_block(l, got.span()).ok());
+            EXPECT_TRUE(got == it->second) << "stale read at " << l;
+            continue;
+          }
+          std::size_t off, len;
+          switch (rng.next_below(4)) {
+            case 0:
+              off = static_cast<std::size_t>(rng.next_below(kBlock));
+              len = 1;  // single byte
+              break;
+            case 1:
+              off = static_cast<std::size_t>(rng.next_below(kBlock));
+              len = kBlock - off;  // exact block-end suffix
+              break;
+            case 2:
+              off = 0;
+              len = kBlock;  // whole block through the range path
+              break;
+            default:
+              off = static_cast<std::size_t>(rng.next_below(kBlock));
+              len = 1 + static_cast<std::size_t>(rng.next_below(kBlock - off));
+              break;
+          }
+          rng.fill(buf.data(), len);
+          ASSERT_TRUE(
+              mig.write_range(l, off, buf.span().subspan(0, len)).ok());
+          std::copy_n(buf.data(), len, it->second.data() + off);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  mig.finish();
+  scrubber.stop();
+  EXPECT_EQ(mig.state(), MigrationState::kDone);
+  EXPECT_TRUE(mig.verify_raid6());
+
+  Buffer got(kBlock);
+  for (const auto& model : models) {
+    for (const auto& [l, want] : model) {
+      ASSERT_TRUE(mig.read_block(l, got.span()).ok());
+      EXPECT_TRUE(got == want) << "lost sub-block write at " << l;
+    }
+  }
+  const scrub::ScrubStats st = scrubber.stats();
+  EXPECT_GT(st.stripes_scanned, 0u);
+  EXPECT_EQ(st.stripes_dirty, 0u);   // no torn delta is ever visible
+  EXPECT_EQ(st.cells_repaired, 0u);  // nothing to heal, ever
+  EXPECT_GT(mig.stats().app_writes, 0u);
 }
 
 TEST(OnlineStress, StripeCacheConcurrentWritersReadersInvalidator) {

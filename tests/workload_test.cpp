@@ -148,5 +148,39 @@ TEST(Workload, RejectsBadParameters) {
   EXPECT_THROW(make_workload(p), std::invalid_argument);
 }
 
+TEST(Workload, SmallWriteFamilySizesWritesOnly) {
+  // write_bytes shapes page-sized small writes for the sub-block delta
+  // plane: writes carry write_bytes, reads still fetch full blocks,
+  // 0 keeps whole-block writes, and an oversized value is rejected.
+  WorkloadParams p;
+  p.block_bytes = 65536;
+  p.write_bytes = 4096;
+  p.read_fraction = 0.5;
+  p.iops = 500.0;
+  p.horizon_ms = 500.0;
+  const auto reqs = make_workload(p);
+  ASSERT_FALSE(reqs.empty());
+  int writes = 0, reads = 0;
+  for (const Request& r : reqs) {
+    if (r.op == Op::kWrite) {
+      EXPECT_EQ(r.bytes, 4096u);
+      ++writes;
+    } else {
+      EXPECT_EQ(r.bytes, 65536u);
+      ++reads;
+    }
+  }
+  EXPECT_GT(writes, 0);
+  EXPECT_GT(reads, 0);
+
+  p.write_bytes = 0;  // whole-block writes, the default
+  for (const Request& r : make_workload(p)) {
+    EXPECT_EQ(r.bytes, 65536u);
+  }
+
+  p.write_bytes = 65537;  // larger than the block
+  EXPECT_THROW(make_workload(p), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace c56::sim

@@ -104,6 +104,63 @@ TEST_P(XorKernelDiff, XorToAliasedDstMatchesScalar) {
   }
 }
 
+TEST_P(XorKernelDiff, XorDeltaMatchesScalar) {
+  Rng rng(0xC56'0008);
+  for (std::size_t n : test_sizes(rng)) {
+    for (std::size_t off : kOffsets) {
+      std::vector<std::uint8_t> a(n + 2 * kSlack), b(n + 2 * kSlack);
+      std::vector<std::uint8_t> dst(n + 2 * kSlack);
+      rng.fill(a.data(), a.size());
+      rng.fill(b.data(), b.size());
+      rng.fill(dst.data(), dst.size());
+      std::vector<std::uint8_t> want = dst;
+      ref().xor_delta(want.data() + off, a.data() + off, b.data() + off, n);
+      kernel().xor_delta(dst.data() + off, a.data() + off, b.data() + off, n);
+      ASSERT_EQ(dst, want) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_P(XorKernelDiff, XorDeltaAliasedMatchesScalar) {
+  Rng rng(0xC56'0009);
+  for (std::size_t n : test_sizes(rng)) {
+    std::vector<std::uint8_t> a(n), b(n);
+    rng.fill(a.data(), n);
+    rng.fill(b.data(), n);
+    // dst == a: dst ^= dst ^ b leaves dst == b.
+    std::vector<std::uint8_t> want = a;
+    ref().xor_delta(want.data(), want.data(), b.data(), n);
+    std::vector<std::uint8_t> got = a;
+    kernel().xor_delta(got.data(), got.data(), b.data(), n);
+    ASSERT_EQ(got, want) << "dst==a n=" << n;
+    EXPECT_EQ(got, b) << "n=" << n;
+    // dst == b symmetrically.
+    want = b;
+    ref().xor_delta(want.data(), a.data(), want.data(), n);
+    got = b;
+    kernel().xor_delta(got.data(), a.data(), got.data(), n);
+    ASSERT_EQ(got, want) << "dst==b n=" << n;
+  }
+}
+
+// xor_delta is definitionally xor_into of (a ^ b); pin the algebra so
+// the write planner may use either formulation interchangeably.
+TEST_P(XorKernelDiff, XorDeltaEqualsXorIntoOfXorTo) {
+  Rng rng(0xC56'000A);
+  for (std::size_t n : test_sizes(rng)) {
+    std::vector<std::uint8_t> a(n), b(n), dst(n);
+    rng.fill(a.data(), n);
+    rng.fill(b.data(), n);
+    rng.fill(dst.data(), n);
+    std::vector<std::uint8_t> want = dst, delta(n);
+    ref().xor_to(delta.data(), a.data(), b.data(), n);
+    ref().xor_into(want.data(), delta.data(), n);
+    std::vector<std::uint8_t> got = dst;
+    kernel().xor_delta(got.data(), a.data(), b.data(), n);
+    ASSERT_EQ(got, want) << "n=" << n;
+  }
+}
+
 TEST_P(XorKernelDiff, XorAccumulateMatchesScalar) {
   Rng rng(0xC56'0004);
   for (std::size_t n : test_sizes(rng)) {
@@ -188,6 +245,7 @@ TEST(XorKernelRegistry, ScalarIsAlwaysFirstAndComplete) {
   for (const XorKernel& k : kernels) {
     EXPECT_NE(k.xor_into, nullptr) << k.name;
     EXPECT_NE(k.xor_to, nullptr) << k.name;
+    EXPECT_NE(k.xor_delta, nullptr) << k.name;
     EXPECT_NE(k.xor_accumulate, nullptr) << k.name;
     EXPECT_NE(k.all_zero, nullptr) << k.name;
   }
@@ -216,6 +274,12 @@ TEST(XorKernelRegistry, PublicApiDispatchesToActiveKernel) {
   active_kernel().xor_to(want.data(), a.data(), b.data(), n);
   xor_to(std::span<std::uint8_t>(got), std::span<const std::uint8_t>(a),
          std::span<const std::uint8_t>(b));
+  EXPECT_EQ(got, want);
+
+  want = got;
+  active_kernel().xor_delta(want.data(), a.data(), b.data(), n);
+  xor_delta_into(std::span<std::uint8_t>(got), std::span<const std::uint8_t>(a),
+                 std::span<const std::uint8_t>(b));
   EXPECT_EQ(got, want);
 
   const void* raw_srcs[] = {a.data(), b.data(), c.data()};
