@@ -102,7 +102,11 @@ ArrayController::ArrayController(DiskArray& array,
 
   // Checked knob parsing: garbage keeps the default (off), negative or
   // absurd sizes clamp instead of wrapping through strtoull. The cap is
-  // a sanity bound on cache stripes, not a recommendation.
+  // a sanity bound on cache stripes, not a recommendation. Shards are
+  // read first so an env-configured cache is built with them.
+  if (const auto v = util::env_int("C56_CACHE_SHARDS", 1, 4096)) {
+    cache_shards_ = static_cast<int>(*v);
+  }
   if (const auto v = util::env_int("C56_CACHE_STRIPES", 0, 1 << 22)) {
     if (*v > 0) set_cache_stripes(static_cast<std::size_t>(*v));
   }
@@ -885,8 +889,17 @@ void ArrayController::set_cache_stripes(std::size_t n) {
     cache_.reset();
     return;
   }
-  cache_ = std::make_unique<StripeCache>(n, code_->cell_count(),
-                                         array_.block_bytes());
+  cache_ = std::make_unique<StripeCache>(
+      n, code_->cell_count(), array_.block_bytes(),
+      static_cast<std::size_t>(cache_shards_));
+}
+
+void ArrayController::set_cache_shards(int n) {
+  if (n < 1 || n > 4096) {
+    throw std::invalid_argument("set_cache_shards: n must be in [1, 4096]");
+  }
+  cache_shards_ = n;
+  if (cache_) set_cache_stripes(cache_stripes_);  // rebuild (empty)
 }
 
 void ArrayController::invalidate_cache() {
@@ -906,29 +919,39 @@ ArrayController::PlannerCounters ArrayController::planner_counters() const {
 }
 
 void ArrayController::attach_metrics(obs::Registry& registry,
-                                     const std::string& prefix) {
-  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
-    c.counter(prefix + "_ranged_reads", ranged_reads_.value());
-    c.counter(prefix + "_ranged_writes", ranged_writes_.value());
-    c.counter(prefix + "_full_stripe_writes", full_stripe_writes_.value());
-    c.counter(prefix + "_partial_stripe_writes",
+                                     const std::string& prefix,
+                                     const std::string& labels) {
+  // `lb` goes on every counter/gauge so many controllers can share one
+  // registry (e.g. volume="3"); histograms are emitted only unlabeled
+  // (label-free names are a histogram contract, see metrics.hpp).
+  const std::string lb = labels.empty() ? "" : "{" + labels + "}";
+  metrics_handle_ =
+      registry.add_collector([this, prefix, lb](obs::Collection& c) {
+    c.counter(prefix + "_ranged_reads" + lb, ranged_reads_.value());
+    c.counter(prefix + "_ranged_writes" + lb, ranged_writes_.value());
+    c.counter(prefix + "_full_stripe_writes" + lb,
+              full_stripe_writes_.value());
+    c.counter(prefix + "_partial_stripe_writes" + lb,
               partial_stripe_writes_.value());
-    c.counter(prefix + "_direct_parities", direct_parities_.value());
-    c.counter(prefix + "_rmw_parities", rmw_parities_.value());
-    c.counter(prefix + "_subblock_writes", subblock_writes_.value());
-    c.counter(prefix + "_delta_parities", delta_parities_.value());
-    c.counter(prefix + "_subblock_promotions", subblock_promotions_.value());
-    c.histogram(prefix + "_read_latency_us", read_latency_us_.snapshot());
-    c.histogram(prefix + "_write_latency_us", write_latency_us_.snapshot());
+    c.counter(prefix + "_direct_parities" + lb, direct_parities_.value());
+    c.counter(prefix + "_rmw_parities" + lb, rmw_parities_.value());
+    c.counter(prefix + "_subblock_writes" + lb, subblock_writes_.value());
+    c.counter(prefix + "_delta_parities" + lb, delta_parities_.value());
+    c.counter(prefix + "_subblock_promotions" + lb,
+              subblock_promotions_.value());
+    if (lb.empty()) {
+      c.histogram(prefix + "_read_latency_us", read_latency_us_.snapshot());
+      c.histogram(prefix + "_write_latency_us", write_latency_us_.snapshot());
+    }
     const StripeCache::Stats cs = cache_stats();
-    c.counter(prefix + "_cache_hits", cs.hits);
-    c.counter(prefix + "_cache_misses", cs.misses);
-    c.counter(prefix + "_cache_insertions", cs.insertions);
-    c.counter(prefix + "_cache_evictions", cs.evictions);
-    c.gauge(prefix + "_cache_stripes",
+    c.counter(prefix + "_cache_hits" + lb, cs.hits);
+    c.counter(prefix + "_cache_misses" + lb, cs.misses);
+    c.counter(prefix + "_cache_insertions" + lb, cs.insertions);
+    c.counter(prefix + "_cache_evictions" + lb, cs.evictions);
+    c.gauge(prefix + "_cache_stripes" + lb,
             static_cast<std::int64_t>(cache_stripes_));
     const std::uint64_t total = cs.hits + cs.misses;
-    c.gauge(prefix + "_cache_hit_ratio_pct",
+    c.gauge(prefix + "_cache_hit_ratio_pct" + lb,
             total == 0 ? 0 : static_cast<std::int64_t>(cs.hits * 100 / total));
   });
 }

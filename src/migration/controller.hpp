@@ -132,6 +132,13 @@ class ArrayController {
   /// time). Resizing drops all cached contents.
   void set_cache_stripes(std::size_t n);
   std::size_t cache_stripes() const { return cache_stripes_; }
+  /// Lock shards of the stripe cache (default 8, or C56_CACHE_SHARDS
+  /// at construction time, clamped to [1, 4096]) — raise it when many
+  /// service worker threads hammer one cached volume. Takes effect on
+  /// the next set_cache_stripes(); calling this while a cache exists
+  /// rebuilds it empty. Throws std::invalid_argument outside the range.
+  void set_cache_shards(int n);
+  int cache_shards() const { return cache_shards_; }
   /// Drop every cached block. Required after anything other than this
   /// controller writes the underlying DiskArray (migration hand-off,
   /// raw_block pokes, ...).
@@ -161,8 +168,14 @@ class ArrayController {
   /// ({prefix}_read_latency_us / {prefix}_write_latency_us), and the
   /// stripe-cache stats (plus a {prefix}_cache_hit_ratio_pct gauge)
   /// through `registry` snapshots. Detaches on destruction.
+  /// A non-empty `labels` block (e.g. `volume="3"`) is appended to
+  /// every counter/gauge name so one registry can host many
+  /// controllers; the latency histograms are skipped in that case —
+  /// histogram names must stay label-free (metrics.hpp), and two
+  /// controllers sharing an unlabeled name would collide.
   void attach_metrics(obs::Registry& registry,
-                      const std::string& prefix = "controller");
+                      const std::string& prefix = "controller",
+                      const std::string& labels = "");
   void detach_metrics() { metrics_handle_.remove(); }
 
   /// Record structured events (disk failures, rebuilds, and — while
@@ -296,6 +309,7 @@ class ArrayController {
 
   std::unique_ptr<StripeCache> cache_;  // null when disabled
   std::size_t cache_stripes_ = 0;
+  int cache_shards_ = 8;  // StripeCache's historical default
 
   // Delta write plane configuration (see set_subblock_delta).
   bool subblock_delta_ = true;

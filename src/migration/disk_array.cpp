@@ -34,6 +34,9 @@ int DiskArray::add_disk() {
   auto disk = std::make_unique<Disk>();
   disk->data = Buffer(static_cast<std::size_t>(blocks_per_disk_) *
                       block_bytes_);
+  // Exclusive vs the metrics collector's shared walk: the push_back may
+  // reallocate the table, which must not happen under a snapshot.
+  std::unique_lock lk(geom_mu_);
   disks_.push_back(std::move(disk));
   return static_cast<int>(disks_.size()) - 1;
 }
@@ -476,14 +479,23 @@ std::uint64_t DiskArray::total_write_runs() const {
 }
 
 void DiskArray::attach_metrics(obs::Registry& registry,
-                               const std::string& prefix) {
-  metrics_handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+                               const std::string& prefix,
+                               const std::string& labels) {
+  // Caller labels (e.g. volume="3") merge into the per-disk label set
+  // and suffix the totals so many arrays can share one registry.
+  const std::string lb = labels.empty() ? "" : "{" + labels + "}";
+  metrics_handle_ =
+      registry.add_collector([this, prefix, labels, lb](obs::Collection& c) {
+    // Shared geometry lock: a concurrent add_disk (migration Step 2)
+    // must not reallocate the disk table mid-walk.
+    std::shared_lock geom(geom_mu_);
     std::uint64_t reads_total = 0, writes_total = 0;
     std::uint64_t read_runs_total = 0, write_runs_total = 0;
     std::uint64_t read_bytes_total = 0, write_bytes_total = 0;
     for (std::size_t d = 0; d < disks_.size(); ++d) {
       const Disk& disk = *disks_[d];
-      const std::string label = "{disk=\"" + std::to_string(d) + "\"}";
+      const std::string label = "{disk=\"" + std::to_string(d) + "\"" +
+                                (labels.empty() ? "" : "," + labels) + "}";
       c.counter(prefix + "_reads" + label, disk.reads.value());
       c.counter(prefix + "_writes" + label, disk.writes.value());
       c.counter(prefix + "_read_runs" + label, disk.read_runs.value());
@@ -495,17 +507,18 @@ void DiskArray::attach_metrics(obs::Registry& registry,
       read_bytes_total += disk.read_bytes.value();
       write_bytes_total += disk.write_bytes.value();
     }
-    c.counter(prefix + "_reads_total", reads_total);
-    c.counter(prefix + "_writes_total", writes_total);
-    c.counter(prefix + "_read_runs_total", read_runs_total);
-    c.counter(prefix + "_write_runs_total", write_runs_total);
-    c.counter(prefix + "_read_bytes_total", read_bytes_total);
-    c.counter(prefix + "_write_bytes_total", write_bytes_total);
-    c.counter(prefix + "_sector_errors", sector_errors_.value());
-    c.counter(prefix + "_torn_writes", torn_writes_.value());
-    c.counter(prefix + "_silent_corruptions", silent_corruptions_.value());
-    c.counter(prefix + "_disk_failures", disk_failure_events_.value());
-    c.gauge(prefix + "_failed_disks", failed_disks());
+    c.counter(prefix + "_reads_total" + lb, reads_total);
+    c.counter(prefix + "_writes_total" + lb, writes_total);
+    c.counter(prefix + "_read_runs_total" + lb, read_runs_total);
+    c.counter(prefix + "_write_runs_total" + lb, write_runs_total);
+    c.counter(prefix + "_read_bytes_total" + lb, read_bytes_total);
+    c.counter(prefix + "_write_bytes_total" + lb, write_bytes_total);
+    c.counter(prefix + "_sector_errors" + lb, sector_errors_.value());
+    c.counter(prefix + "_torn_writes" + lb, torn_writes_.value());
+    c.counter(prefix + "_silent_corruptions" + lb,
+              silent_corruptions_.value());
+    c.counter(prefix + "_disk_failures" + lb, disk_failure_events_.value());
+    c.gauge(prefix + "_failed_disks" + lb, failed_disks());
   });
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -140,11 +141,16 @@ class DiskArray {
   /// `registry` snapshots as `{prefix}_reads{disk="0"}`,
   /// `{prefix}_reads_total`, `{prefix}_sector_errors`, ... plus a
   /// `{prefix}_failed_disks` gauge. The collector detaches when the
-  /// array is destroyed (or on detach_metrics). Attach after the final
-  /// geometry is set: the snapshot-time walk over the disks is
-  /// unlocked, so a concurrent add_disk would race it.
+  /// array is destroyed (or on detach_metrics). Safe to attach before
+  /// the geometry is final: the snapshot-time walk holds the geometry
+  /// lock shared, so a concurrent add_disk (which takes it exclusive)
+  /// cannot reallocate the disk table under it.
+  /// A non-empty `labels` block (e.g. `volume="3"`) is merged into the
+  /// per-disk label set and appended to the totals, so many arrays can
+  /// share one registry in multi-volume services.
   void attach_metrics(obs::Registry& registry,
-                      const std::string& prefix = "disk_array");
+                      const std::string& prefix = "disk_array",
+                      const std::string& labels = "");
   void detach_metrics() { metrics_handle_.remove(); }
 
  private:
@@ -187,6 +193,13 @@ class DiskArray {
   std::vector<std::unique_ptr<Disk>> disks_;
   std::int64_t blocks_per_disk_;
   std::size_t block_bytes_;
+
+  // Guards the disks_ table's *shape* only: add_disk takes it exclusive
+  // around the push_back, the metrics collector takes it shared for its
+  // walk. Hot I/O paths index disks_ lock-free — they are serialised
+  // against geometry growth by the migrator's exclusive ops gate, which
+  // is the contract add_disk callers already honour.
+  mutable std::shared_mutex geom_mu_;
 
   // Fault-injection state (cold path; guarded by fault_mu_ except the
   // per-disk atomics above).

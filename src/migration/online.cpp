@@ -133,6 +133,10 @@ int OnlineMigrator::workers() const {
 }
 
 void OnlineMigrator::start() {
+  // Exclusive ops gate: Step 2 grows the array's disk table, which
+  // must not reallocate under concurrent app I/O indexing it. This is
+  // the only quiesce start() needs, and it lasts one push_back.
+  std::unique_lock ops(ops_mu_);
   std::lock_guard lk(mu_);
   if (state_ != MigrationState::kIdle) {
     throw std::logic_error("OnlineMigrator: already started");

@@ -1,0 +1,101 @@
+#pragma once
+// Multi-tenant block service: the submission-queue/completion-queue
+// request types shared by VolumeManager (volume_manager.hpp) and its
+// shards (shard.hpp).
+//
+// SQ/CQ contract (DESIGN.md §13 is the long form):
+//  * submit() validates geometry synchronously (kNoSuchVolume /
+//    kInvalidArgument return immediately, nothing is queued) and
+//    applies admission control (kQueueFull when the tenant's in-flight
+//    budget or the shard's queue cap is hit — back off and resubmit).
+//  * An accepted request completes exactly once, via on_complete, on
+//    the owning shard's worker thread. Callbacks must be cheap and
+//    must not call back into the manager's blocking entry points.
+//  * Ordering: requests of one tenant to one volume are processed in
+//    submission order, and two writes touching the same blocks apply
+//    in submission order even when the shard coalesces around them.
+//    Requests of different tenants — or to different volumes — are
+//    unordered (deficit-round-robin interleaves tenants). A read is
+//    unordered against in-flight writes (a read drained in the same
+//    batch as a write sees it); await the write's completion for
+//    read-your-write semantics.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace c56::svc {
+
+using VolumeId = std::int32_t;
+using TenantId = std::int32_t;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kQueueFull,        // admission control: tenant budget or shard SQ cap
+  kNoSuchVolume,
+  kInvalidArgument,  // bad range/offset or buffer size mismatch
+  kIoError,          // unrecoverable device fault surfaced by the volume
+  kShutdown,         // manager is stopping; request was not executed
+};
+
+const char* to_string(Status s) noexcept;
+
+enum class OpKind : std::uint8_t {
+  kRead,        // `count` whole blocks into `out`
+  kWrite,       // `count` whole blocks from `in`
+  kReadRange,   // out.size() bytes at `offset` within block `logical`
+  kWriteRange,  // in.size() bytes at `offset` within block `logical`
+};
+
+struct Completion {
+  Status status = Status::kOk;
+  std::uint64_t latency_us = 0;  // submit() -> completion callback
+};
+
+using CompletionFn = std::function<void(const Completion&)>;
+
+/// One queued operation. Buffers are caller-owned views and must stay
+/// valid until the completion callback runs.
+struct Request {
+  OpKind kind = OpKind::kRead;
+  VolumeId volume = 0;
+  TenantId tenant = 0;
+  std::int64_t logical = 0;  // first logical data block
+  std::int64_t count = 1;    // whole blocks (kRead / kWrite)
+  std::int64_t offset = 0;   // intra-block byte offset (k*Range)
+  std::span<std::uint8_t> out;       // kRead / kReadRange destination
+  std::span<const std::uint8_t> in;  // kWrite / kWriteRange payload
+  CompletionFn on_complete;  // may be empty (fire-and-forget)
+};
+
+/// Knobs of one VolumeManager. Environment variables of the same
+/// shape (C56_SERVICE_*) override these at construction time; see
+/// VolumeManager's constructor for the clamped ranges.
+struct ServiceConfig {
+  /// Worker shards. Volumes map to shards by id, so every operation
+  /// on one volume executes on one thread — that serialization is
+  /// what lets the shard batch without locking the data path.
+  int shards = 4;                            // C56_SERVICE_SHARDS
+  /// Max operations per drained batch. The event loop takes whatever
+  /// is queued up to this bound, so batch size tracks queue depth:
+  /// idle service = latency-optimal batches of 1, saturated service =
+  /// planner-sized batches that amortize parity I/O.
+  int max_batch = 256;                       // C56_SERVICE_BATCH
+  /// Per-tenant in-flight budget (accepted, not yet completed).
+  std::int64_t tenant_inflight = 4096;       // C56_SERVICE_INFLIGHT
+  /// Per-shard submission-queue cap across all tenants.
+  std::int64_t shard_queue_cap = 1 << 16;    // C56_SERVICE_QUEUE
+  /// Deficit-round-robin quantum, in blocks, credited to a tenant per
+  /// scheduling visit.
+  int quantum_blocks = 64;                   // C56_SERVICE_QUANTUM
+  /// Thread-local BufferPool bytes a shard keeps when its queue goes
+  /// idle (BufferPool::trim high-watermark hook).
+  std::size_t idle_trim_bytes = 256u << 10;  // C56_SERVICE_TRIM_KB
+  /// Test seam: do not start worker threads; queued work runs only
+  /// when the test calls VolumeManager::pump_all() / Shard::pump(),
+  /// making batch composition deterministic.
+  bool manual_pump = false;
+};
+
+}  // namespace c56::svc

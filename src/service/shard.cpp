@@ -1,0 +1,187 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "xorblk/pool.hpp"
+
+namespace c56::svc {
+
+Shard::Shard(int id, ServiceShared& shared) : id_(id), shared_(shared) {}
+
+Shard::~Shard() { stop(); }
+
+void Shard::start() {
+  worker_ = std::thread([this] { loop(); });
+}
+
+void Shard::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Threaded shards drained everything before exiting; in manual-pump
+  // mode whatever is still queued completes as kShutdown so no
+  // accepted request ever goes unanswered.
+  std::vector<QueuedOp> rest;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [tenant, q] : tenants_) {
+      for (QueuedOp& op : q.ops) rest.push_back(std::move(op));
+      q.ops.clear();
+      q.active = false;
+      q.deficit = 0;
+    }
+    ring_.clear();
+    queued_.fetch_sub(static_cast<std::int64_t>(rest.size()),
+                      std::memory_order_relaxed);
+  }
+  for (QueuedOp& op : rest) {
+    op.result = Status::kShutdown;
+    finish(op);
+  }
+}
+
+Status Shard::enqueue(QueuedOp&& op) {
+  const TenantId tenant = op.req.tenant;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return Status::kShutdown;
+    if (queued_.load(std::memory_order_relaxed) >=
+        shared_.cfg.shard_queue_cap) {
+      return Status::kQueueFull;
+    }
+    TenantQueue& q = tenants_[tenant];
+    q.ops.push_back(std::move(op));
+    if (!q.active) {
+      q.active = true;
+      ring_.push_back(tenant);
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+  return Status::kOk;
+}
+
+void Shard::drain_locked(std::vector<QueuedOp>& out) {
+  const auto max_batch = static_cast<std::size_t>(shared_.cfg.max_batch);
+  const std::int64_t quantum = shared_.cfg.quantum_blocks;
+  while (!ring_.empty() && out.size() < max_batch) {
+    const TenantId tenant = ring_.front();
+    ring_.pop_front();
+    TenantQueue& q = tenants_[tenant];
+    q.deficit += quantum;
+    while (!q.ops.empty() && out.size() < max_batch &&
+           q.ops.front().cost <= q.deficit) {
+      q.deficit -= q.ops.front().cost;
+      out.push_back(std::move(q.ops.front()));
+      q.ops.pop_front();
+    }
+    if (q.ops.empty()) {
+      // Leaving the ring forfeits the remaining deficit (classic DRR:
+      // credit only accumulates while backlogged).
+      q.deficit = 0;
+      q.active = false;
+    } else {
+      ring_.push_back(tenant);
+    }
+  }
+  queued_.fetch_sub(static_cast<std::int64_t>(out.size()),
+                    std::memory_order_relaxed);
+}
+
+std::size_t Shard::run_batch(std::vector<QueuedOp>& batch) {
+  if (batch.empty()) return 0;
+  if (obs::metrics_enabled()) {
+    shared_.metrics.batch_ops.observe(batch.size());
+  }
+  // Group by volume; stable so per-tenant FIFO survives within each
+  // volume (the ordering contract). Each group executes as one batch
+  // through the volume's coalescing planner, then completes.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const QueuedOp& a, const QueuedOp& b) {
+                     return a.req.volume < b.req.volume;
+                   });
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].req.volume == batch[i].req.volume) {
+      ++j;
+    }
+    batch[i].volume->execute({batch.data() + i, j - i});
+    for (std::size_t k = i; k < j; ++k) finish(batch[k]);
+    i = j;
+  }
+  return batch.size();
+}
+
+void Shard::finish(QueuedOp& op) {
+  const auto us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - op.submitted)
+          .count());
+  if (obs::metrics_enabled()) {
+    auto& h = (op.req.kind == OpKind::kRead ||
+               op.req.kind == OpKind::kReadRange)
+                  ? shared_.metrics.read_latency_us
+                  : shared_.metrics.write_latency_us;
+    h.observe(us);
+  }
+  shared_.metrics.completed.inc();
+  if (op.result != Status::kOk) shared_.metrics.errors.inc();
+  shared_.tenant_completed[static_cast<std::size_t>(op.req.tenant)].inc();
+  if (op.req.on_complete) op.req.on_complete({op.result, us});
+  shared_.tenant_inflight[static_cast<std::size_t>(op.req.tenant)].fetch_sub(
+      1, std::memory_order_relaxed);
+  // Release the global in-flight count last; the waiter side of
+  // drain() reads it under drain_mu, so lock/notify here closes the
+  // missed-wakeup window.
+  if (shared_.total_inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(shared_.drain_mu);
+    shared_.drain_cv.notify_all();
+  }
+}
+
+std::size_t Shard::pump() {
+  std::vector<QueuedOp> batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!ring_.empty() && obs::metrics_enabled()) {
+      shared_.metrics.queue_depth.observe(
+          static_cast<std::uint64_t>(queued_.load(std::memory_order_relaxed)));
+    }
+    drain_locked(batch);
+  }
+  return run_batch(batch);
+}
+
+void Shard::loop() {
+  std::vector<QueuedOp> batch;
+  batch.reserve(static_cast<std::size_t>(shared_.cfg.max_batch));
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (ring_.empty() && !stopping_) {
+      // Idle: give back peak-sized staging buffers before sleeping
+      // (the BufferPool high-watermark hook).
+      lk.unlock();
+      BufferPool::local().trim(shared_.cfg.idle_trim_bytes);
+      lk.lock();
+      cv_.wait(lk, [&] { return stopping_ || !ring_.empty(); });
+    }
+    if (ring_.empty()) break;  // stopping_ && drained
+    if (obs::metrics_enabled()) {
+      shared_.metrics.queue_depth.observe(
+          static_cast<std::uint64_t>(queued_.load(std::memory_order_relaxed)));
+    }
+    batch.clear();
+    drain_locked(batch);
+    lk.unlock();
+    run_batch(batch);
+    lk.lock();
+  }
+}
+
+}  // namespace c56::svc

@@ -1,0 +1,112 @@
+#pragma once
+// The multi-tenant block service front end: hosts up to kMaxVolumes
+// volumes sharded across worker threads behind the async SQ/CQ API
+// described in request.hpp.
+//
+// The submit path is lock-light by construction: a volume lookup is
+// one acquire-load plus an array index (the table is append-only and
+// published with release order), admission control is two relaxed
+// atomic bumps (per-tenant budget, global in-flight), and the only
+// lock touched is the owning shard's queue mutex for the enqueue
+// itself. Volumes map to shards by `id % shards`, so all I/O of one
+// volume serializes on one worker — the property the batch executor's
+// coalescing relies on.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/shard.hpp"
+#include "service/volume.hpp"
+
+namespace c56::svc {
+
+class VolumeManager {
+ public:
+  static constexpr int kMaxVolumes = 4096;
+
+  /// C56_SERVICE_* environment knobs override `cfg` fields here (see
+  /// request.hpp for which knob maps to which field).
+  explicit VolumeManager(ServiceConfig cfg = {});
+  /// Stops accepting, drains every queue, joins the workers.
+  ~VolumeManager();
+
+  VolumeManager(const VolumeManager&) = delete;
+  VolumeManager& operator=(const VolumeManager&) = delete;
+
+  /// Create a controller-backed volume; returns its id (dense,
+  /// starting at 0). Throws std::length_error when the table is full.
+  VolumeId create_volume(const Volume::Config& cfg);
+  /// Create a migrator-backed RAID-5 volume ready for a mid-traffic
+  /// Code 5-6 conversion (volume(id)->migrator()->start()).
+  VolumeId create_raid5_volume(int p, std::int64_t groups,
+                               std::size_t block_bytes, TenantId owner = 0);
+
+  /// nullptr when `id` names no volume.
+  Volume* volume(VolumeId id) noexcept;
+  int volumes() const noexcept {
+    return volume_count_.load(std::memory_order_acquire);
+  }
+
+  /// Validate, admit, and queue `req`. kOk means the completion
+  /// callback will run exactly once on a shard thread; every other
+  /// status is a synchronous rejection and nothing was queued.
+  Status submit(Request req);
+
+  /// Block until every accepted request has completed. (In manual-pump
+  /// mode, pumps the shards on the calling thread instead.)
+  void drain();
+
+  /// Reject new submissions, drain, and join the shard workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Accepted-but-not-completed requests, service-wide.
+  std::int64_t inflight() const noexcept {
+    return shared_.total_inflight.load(std::memory_order_acquire);
+  }
+
+  /// Test seam (cfg.manual_pump): run one drain+execute pass on every
+  /// shard; returns ops completed. Loop until 0 for a full drain.
+  std::size_t pump_all();
+
+  const ServiceConfig& config() const noexcept { return shared_.cfg; }
+
+  /// Export service metrics through `registry`: global counters, SQ
+  /// depth / batch-size / latency histograms, per-shard queue gauges,
+  /// per-volume ops/blocks/errors counters (volume="id" labels) and
+  /// per-tenant in-flight/completed (tenant="id", active tenants
+  /// only). Detaches on destruction.
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "service");
+  /// Additionally export every hosted volume's DiskArray and
+  /// controller counters labeled volume="id" (c56cli serve-bench /
+  /// stats attribution). The handles live in the volumes' subsystems;
+  /// `registry` must outlive this manager.
+  void attach_volume_metrics(obs::Registry& registry);
+  void detach_metrics() { metrics_handle_.remove(); }
+
+ private:
+  Shard& shard_of(VolumeId id) noexcept {
+    return *shards_[static_cast<std::size_t>(id) % shards_.size()];
+  }
+
+  ServiceShared shared_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Append-only volume table: slots are written before volume_count_
+  // is bumped with release order, so the lock-free submit-path lookup
+  // never sees a half-built volume.
+  std::array<std::unique_ptr<Volume>, kMaxVolumes> volumes_;
+  std::atomic<int> volume_count_{0};
+  std::mutex create_mu_;
+  std::atomic<bool> accepting_{true};
+  bool stopped_ = false;
+  obs::CollectorHandle metrics_handle_;
+};
+
+}  // namespace c56::svc

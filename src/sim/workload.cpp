@@ -10,7 +10,8 @@ namespace c56::sim {
 
 std::vector<Request> make_workload(const WorkloadParams& p) {
   if (p.disks <= 0 || p.blocks_per_disk <= 0 || p.iops <= 0.0 ||
-      p.horizon_ms <= 0.0 || p.write_bytes > p.block_bytes) {
+      p.horizon_ms <= 0.0 || p.write_bytes > p.block_bytes ||
+      p.min_requests < 0) {
     throw std::invalid_argument("make_workload: bad parameters");
   }
   Rng rng(p.seed);
@@ -39,7 +40,10 @@ std::vector<Request> make_workload(const WorkloadParams& p) {
   while (true) {
     // Exponential inter-arrival.
     t += -std::log(1.0 - rng.next_double()) * 1e3 / p.iops;
-    if (t >= p.horizon_ms) break;
+    if (t >= p.horizon_ms &&
+        static_cast<std::int64_t>(out.size()) >= p.min_requests) {
+      break;
+    }
     std::int64_t block = 0;
     switch (p.pattern) {
       case AddressPattern::kUniform:

@@ -29,6 +29,12 @@ struct WorkloadParams {
   double zipf_theta = 0.99;       // skew for kZipf
   int tag = 1;                    // request tag for latency reporting
   std::uint64_t seed = 1;
+  /// Keep generating past horizon_ms (same Poisson process, issue
+  /// times keep growing) until at least this many requests exist.
+  /// 0 = the horizon alone bounds the stream (the historical
+  /// behavior). Lets open-loop load drivers ask for an exact-count
+  /// arrival schedule instead of tuning iops x horizon by hand.
+  std::int64_t min_requests = 0;
 };
 
 /// Generate the request stream (sorted by issue time).

@@ -1,6 +1,7 @@
 #include "xorblk/pool.hpp"
 
 #include <atomic>
+#include <mutex>
 
 namespace c56 {
 
@@ -10,11 +11,39 @@ namespace {
 // touched only when metrics are enabled (one branch per acquire).
 std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
+// trim() is cold (idle loops only), so its byte total is unconditional.
+std::atomic<std::uint64_t> g_trimmed{0};
+
+// Directory of live per-thread pools, so total_retained_bytes() can
+// sum their pooled_bytes_ atomics from the snapshot thread. Leaked on
+// purpose: thread_local pools may be destroyed during static teardown,
+// after a non-leaked directory would already be gone.
+struct PoolDirectory {
+  std::mutex mu;
+  std::vector<BufferPool*> pools;
+};
+
+PoolDirectory& directory() noexcept {
+  static PoolDirectory* d = new PoolDirectory;
+  return *d;
+}
 }  // namespace
 
 BufferPool& BufferPool::local() noexcept {
   thread_local BufferPool pool;
   return pool;
+}
+
+BufferPool::BufferPool() {
+  PoolDirectory& d = directory();
+  std::lock_guard<std::mutex> lk(d.mu);
+  d.pools.push_back(this);
+}
+
+BufferPool::~BufferPool() {
+  PoolDirectory& d = directory();
+  std::lock_guard<std::mutex> lk(d.mu);
+  std::erase(d.pools, this);
 }
 
 std::uint64_t BufferPool::global_hits() noexcept {
@@ -25,12 +54,24 @@ std::uint64_t BufferPool::global_misses() noexcept {
   return g_misses.load(std::memory_order_relaxed);
 }
 
+std::uint64_t BufferPool::total_retained_bytes() noexcept {
+  PoolDirectory& d = directory();
+  std::lock_guard<std::mutex> lk(d.mu);
+  std::uint64_t total = 0;
+  for (const BufferPool* p : d.pools) total += p->pooled_bytes();
+  return total;
+}
+
+std::uint64_t BufferPool::total_trimmed_bytes() noexcept {
+  return g_trimmed.load(std::memory_order_relaxed);
+}
+
 Buffer BufferPool::acquire(std::size_t size) {
   for (Bucket& b : buckets_) {
     if (b.size == size && !b.free.empty()) {
       Buffer out = std::move(b.free.back());
       b.free.pop_back();
-      pooled_bytes_ -= size;
+      pooled_bytes_.fetch_sub(size, std::memory_order_relaxed);
       ++hits_;
       if (obs::metrics_enabled()) {
         g_hits.fetch_add(1, std::memory_order_relaxed);
@@ -47,23 +88,51 @@ Buffer BufferPool::acquire(std::size_t size) {
 
 void BufferPool::release(Buffer&& b) noexcept {
   const std::size_t size = b.size();
-  if (size == 0 || pooled_bytes_ + size > kMaxPooledBytes) return;
+  if (size == 0 || pooled_bytes() + size > kMaxPooledBytes) return;
   for (Bucket& bucket : buckets_) {
     if (bucket.size == size) {
       bucket.free.push_back(std::move(b));
-      pooled_bytes_ += size;
+      pooled_bytes_.fetch_add(size, std::memory_order_relaxed);
       return;
     }
   }
   buckets_.push_back({size, {}});
   buckets_.back().free.push_back(std::move(b));
-  pooled_bytes_ += size;
+  pooled_bytes_.fetch_add(size, std::memory_order_relaxed);
+}
+
+void BufferPool::trim(std::size_t keep_bytes) noexcept {
+  std::size_t pooled = pooled_bytes();
+  if (pooled <= keep_bytes) return;
+  const std::size_t before = pooled;
+  // Largest sizes first: the peak-sized stripe staging buffers are the
+  // ones worth giving back; block-sized buffers barely register.
+  do {
+    Bucket* victim = nullptr;
+    std::size_t largest = 0;
+    for (Bucket& b : buckets_) {
+      if (!b.free.empty() && b.size > largest) {
+        largest = b.size;
+        victim = &b;
+      }
+    }
+    if (!victim) break;
+    while (!victim->free.empty() && pooled > keep_bytes) {
+      victim->free.pop_back();
+      pooled -= victim->size;
+    }
+  } while (pooled > keep_bytes);
+  pooled_bytes_.store(pooled, std::memory_order_relaxed);
+  g_trimmed.fetch_add(before - pooled, std::memory_order_relaxed);
 }
 
 obs::CollectorHandle attach_pool_metrics(obs::Registry& registry) {
   return registry.add_collector([](obs::Collection& c) {
     c.counter("buffer_pool_hits", BufferPool::global_hits());
     c.counter("buffer_pool_misses", BufferPool::global_misses());
+    c.counter("buffer_pool_trimmed_bytes", BufferPool::total_trimmed_bytes());
+    c.gauge("buffer_pool_retained_bytes",
+            static_cast<std::int64_t>(BufferPool::total_retained_bytes()));
   });
 }
 

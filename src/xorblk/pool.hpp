@@ -7,7 +7,13 @@
 // caller needs cleared memory. Each thread owns its own pool, so no
 // locking is involved and release() must happen on the acquiring
 // thread (which the RAII PooledBuffer guarantees).
+//
+// Long-lived worker threads (service shards) call trim() from their
+// idle loops so a burst of peak-sized stripe buffers is not pinned for
+// the rest of the thread's life; total_retained_bytes() aggregates
+// every live thread's pooled bytes for the high-watermark gauge.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -24,6 +30,11 @@ class BufferPool {
   /// The calling thread's pool.
   static BufferPool& local() noexcept;
 
+  BufferPool();
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
   /// A buffer of exactly `size` bytes, reused from the pool when
   /// possible. Contents are unspecified.
   Buffer acquire(std::size_t size);
@@ -32,7 +43,15 @@ class BufferPool {
   /// kMaxPooledBytes, so a burst of large stripes cannot pin memory).
   void release(Buffer&& b) noexcept;
 
-  std::size_t pooled_bytes() const noexcept { return pooled_bytes_; }
+  /// Drop pooled buffers (largest sizes first) until at most
+  /// `keep_bytes` stay resident. The idle-loop hook for long-lived
+  /// worker threads; trim(0) empties the pool. Must be called on the
+  /// owning thread, like every other mutator.
+  void trim(std::size_t keep_bytes = 0) noexcept;
+
+  std::size_t pooled_bytes() const noexcept {
+    return pooled_bytes_.load(std::memory_order_relaxed);
+  }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
 
@@ -41,6 +60,13 @@ class BufferPool {
   /// per-thread counters above are always exact.
   static std::uint64_t global_hits() noexcept;
   static std::uint64_t global_misses() noexcept;
+
+  /// Bytes currently pooled across every live thread's pool (always
+  /// exact — this is the retained-memory high-watermark gauge, so it
+  /// does not depend on the metrics switch).
+  static std::uint64_t total_retained_bytes() noexcept;
+  /// Bytes released back to the allocator by trim() calls, process-wide.
+  static std::uint64_t total_trimmed_bytes() noexcept;
 
  private:
   static constexpr std::size_t kMaxPooledBytes = 64u << 20;
@@ -52,7 +78,9 @@ class BufferPool {
     std::vector<Buffer> free;
   };
   std::vector<Bucket> buckets_;
-  std::size_t pooled_bytes_ = 0;
+  // Atomic so total_retained_bytes() may read it from the snapshot
+  // thread; only the owning thread ever writes it.
+  std::atomic<std::size_t> pooled_bytes_{0};
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -84,8 +112,9 @@ class PooledBuffer {
 };
 
 /// Register a collector exporting the pool's process-wide aggregates
-/// (buffer_pool_hits / buffer_pool_misses) with `registry`. The caller
-/// owns the returned handle.
+/// (buffer_pool_hits / buffer_pool_misses / buffer_pool_retained_bytes
+/// / buffer_pool_trimmed_bytes) with `registry`. The caller owns the
+/// returned handle.
 [[nodiscard]] obs::CollectorHandle attach_pool_metrics(
     obs::Registry& registry);
 

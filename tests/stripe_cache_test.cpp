@@ -275,6 +275,75 @@ TEST(ControllerCache, CacheStripesKnobChecksItsInput) {
   stripes_with("99999999999999999999");  // overflow -> clamped cap
 }
 
+TEST(StripeCache, ShardCountPreservesCapacityContract) {
+  // Capacity 9 over 3 shards: stripe % 3 spreads a sequential scan one
+  // stripe per shard slot, so all nine coexist and every lookup hits.
+  StripeCache cache(9, 4, kBlock, 3);
+  const Buffer want = pattern(0x3C);
+  Buffer got(kBlock);
+  for (std::int64_t s = 0; s < 9; ++s) cache.fill(s, 0, want.span());
+  for (std::int64_t s = 0; s < 9; ++s) {
+    EXPECT_TRUE(cache.lookup(s, 0, got.span())) << "stripe " << s;
+    EXPECT_TRUE(got == want);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // More shards than stripes clamps so each shard holds >= 1 stripe.
+  StripeCache tiny(2, 4, kBlock, 64);
+  tiny.fill(0, 0, want.span());
+  tiny.fill(1, 0, want.span());
+  EXPECT_TRUE(tiny.lookup(0, 0, got.span()));
+  EXPECT_TRUE(tiny.lookup(1, 0, got.span()));
+}
+
+TEST(ControllerCache, CacheShardsKnobChecksItsInput) {
+  // C56_CACHE_SHARDS rides the same checked env parser: garbage keeps
+  // the historical default of 8, out-of-range values clamp to [1, 4096].
+  int expected = 8;
+  const auto shards_with = [&](const char* v) {
+    ASSERT_EQ(setenv("C56_CACHE_SHARDS", v, 1), 0) << v;
+    auto code = make_code(CodeId::kCode56, 5);
+    DiskArray array(code->cols(), 2LL * code->rows(), kBlock);
+    ArrayController ctrl(array, std::move(code));
+    unsetenv("C56_CACHE_SHARDS");
+    EXPECT_EQ(ctrl.cache_shards(), expected) << v;
+  };
+  shards_with("garbage");  // non-numeric -> default
+  shards_with("8junk");    // trailing junk -> default
+  expected = 16;
+  shards_with("16");
+  expected = 1;
+  shards_with("0");   // below range -> clamps to 1
+  shards_with("-3");
+  expected = 4096;
+  shards_with("999999999");  // above range -> clamps to the cap
+}
+
+TEST(ControllerCache, SetCacheShardsRebuildsEmpty) {
+  auto code = make_code(CodeId::kCode56, 5);
+  DiskArray array(code->cols(), 2LL * code->rows(), kBlock);
+  ArrayController ctrl(array, std::move(code));
+  EXPECT_THROW(ctrl.set_cache_shards(0), std::invalid_argument);
+  EXPECT_THROW(ctrl.set_cache_shards(4097), std::invalid_argument);
+  ctrl.set_cache_stripes(2);
+
+  // Warm the cache: the write-through fill makes this read a hit.
+  const Buffer b = pattern(0x5A);
+  ctrl.write(0, b.span());
+  Buffer got(kBlock);
+  ctrl.read(0, got.span());
+  EXPECT_GT(ctrl.cache_stats().hits, 0u);
+
+  ctrl.set_cache_shards(3);
+  EXPECT_EQ(ctrl.cache_shards(), 3);
+  EXPECT_EQ(ctrl.cache_stripes(), 2u);  // capacity survives the rebuild
+  EXPECT_EQ(ctrl.cache_stats().hits, 0u);  // contents and stats do not
+
+  ctrl.write(1, b.span());
+  ctrl.read(1, got.span());
+  EXPECT_GT(ctrl.cache_stats().hits, 0u);  // resharded cache still works
+  EXPECT_TRUE(got == b);
+}
+
 TEST(ControllerCache, EnvVarEnablesCacheAtConstruction) {
   ASSERT_EQ(setenv("C56_CACHE_STRIPES", "3", 1), 0);
   auto code = make_code(CodeId::kCode56, 5);

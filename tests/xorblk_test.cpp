@@ -4,6 +4,7 @@
 
 #include "util/rng.hpp"
 #include "xorblk/buffer.hpp"
+#include "xorblk/pool.hpp"
 #include "xorblk/xor.hpp"
 
 namespace c56 {
@@ -97,6 +98,46 @@ TEST(Buffer, MoveLeavesSourceReusable) {
   Buffer b = std::move(a);
   EXPECT_EQ(b.size(), 8u);
   EXPECT_EQ(b.data()[3], 0x5A);
+}
+
+TEST(BufferPool, TrimDropsLargestSizesFirst) {
+  BufferPool& pool = BufferPool::local();
+  pool.trim(0);  // start from a known-empty pool
+  ASSERT_EQ(pool.pooled_bytes(), 0u);
+  pool.release(Buffer(1024));
+  pool.release(Buffer(2048));
+  pool.release(Buffer(4096));
+  EXPECT_EQ(pool.pooled_bytes(), 7168u);
+
+  // Keeping 3500 bytes must shed the 4096 bucket and nothing else.
+  pool.trim(3500);
+  EXPECT_EQ(pool.pooled_bytes(), 3072u);
+  Buffer small = pool.acquire(1024);  // survivor: served from the pool
+  EXPECT_EQ(pool.pooled_bytes(), 2048u);
+  const std::uint64_t misses_before = pool.misses();
+  Buffer big = pool.acquire(4096);  // trimmed away: fresh allocation
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+
+  pool.release(std::move(small));
+  pool.release(std::move(big));
+  pool.trim(0);
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+}
+
+TEST(BufferPool, TrimMaintainsProcessWideGauges) {
+  BufferPool& pool = BufferPool::local();
+  pool.trim(0);
+  const std::uint64_t retained0 = BufferPool::total_retained_bytes();
+  const std::uint64_t trimmed0 = BufferPool::total_trimmed_bytes();
+
+  pool.release(Buffer(8192));
+  EXPECT_GE(BufferPool::total_retained_bytes(), retained0 + 8192);
+  pool.trim(0);
+  // The retained gauge gave the bytes back and the trimmed counter
+  // recorded the release (other threads may move both concurrently,
+  // hence >=; this thread's pool is exact).
+  EXPECT_EQ(pool.pooled_bytes(), 0u);
+  EXPECT_GE(BufferPool::total_trimmed_bytes(), trimmed0 + 8192);
 }
 
 }  // namespace

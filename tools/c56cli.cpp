@@ -10,6 +10,12 @@
 //   c56cli stats   [--prom]                    scripted migrate-under-faults
 //                                              run, metrics dump (JSON; --prom
 //                                              for Prometheus text)
+//   c56cli serve-bench [--volumes N] [--tenants N] [--streams N]
+//                  [--requests N] [--block BYTES] [--p PRIME] [--shards N]
+//                  [--batch N] [--reads PCT] [--json]
+//                                              drive the multi-tenant block
+//                                              service with a stream load and
+//                                              report throughput + latency
 //   c56cli monitor [--groups N] [--workers N] [--ms N] [--faults]
 //                  [--bundle PATH] [--series PATH]
 //                                              live migration with sampler,
@@ -55,6 +61,8 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "scrub/scrubber.hpp"
+#include "service/loadgen.hpp"
+#include "service/volume_manager.hpp"
 #include "sim/event_sim.hpp"
 #include "util/rng.hpp"
 #include "xorblk/pool.hpp"
@@ -349,13 +357,106 @@ int cmd_stats(int argc, char** argv) {
     ctrl.read(0, 4, {buf.data(), 4 * kBlock});         // cache hits
   }
 
-  array.attach_metrics(reg);
+  // Label each array/controller with the volume it played in the
+  // script (0 = the migrated RAID-5, 1 = the batched Code 5-6), so the
+  // dump attributes I/O per volume the way the block service does.
+  array.attach_metrics(reg, "disk_array", "volume=\"0\"");
   migrator.attach_metrics(reg);
-  ctrl.attach_metrics(reg);
+  carray.attach_metrics(reg, "disk_array", "volume=\"1\"");
+  ctrl.attach_metrics(reg, "controller", "volume=\"1\"");
   const std::string out = prom ? reg.to_prometheus() : reg.to_json();
   std::fputs(out.c_str(), stdout);
   if (!out.empty() && out.back() != '\n') std::fputc('\n', stdout);
   return 0;
+}
+
+int cmd_serve_bench(int argc, char** argv) {
+  const bool json = has_flag(argc, argv, "--json");
+  obs::set_metrics_enabled(true);
+
+  svc::LoadParams lp;
+  lp.volumes = static_cast<int>(flag_value(argc, argv, "--volumes", 16));
+  lp.tenants = static_cast<int>(flag_value(argc, argv, "--tenants", 16));
+  lp.streams = flag_value(argc, argv, "--streams", 20000);
+  lp.requests_per_stream =
+      static_cast<int>(flag_value(argc, argv, "--requests", 2));
+  lp.block_bytes =
+      static_cast<std::size_t>(flag_value(argc, argv, "--block", 512));
+  lp.p = static_cast<int>(flag_value(argc, argv, "--p", 7));
+  // --reads is a percentage (0-100) of requests that read back.
+  lp.read_fraction =
+      static_cast<double>(flag_value(argc, argv, "--reads", 0)) / 100.0;
+  lp.seed = 0xC56;
+  if (lp.volumes < 1 || lp.tenants < 1 || lp.streams < 1 ||
+      lp.requests_per_stream < 1 || lp.block_bytes < 16 ||
+      lp.read_fraction < 0 || lp.read_fraction > 1) {
+    std::fprintf(stderr,
+                 "usage: c56cli serve-bench [--volumes N] [--tenants N] "
+                 "[--streams N] [--requests N] [--block BYTES] [--p PRIME] "
+                 "[--shards N] [--batch N] [--reads PCT] [--json]\n");
+    return 2;
+  }
+
+  svc::ServiceConfig sc;
+  sc.shards = static_cast<int>(flag_value(argc, argv, "--shards", 4));
+  sc.max_batch = static_cast<int>(flag_value(argc, argv, "--batch", 256));
+
+  // The registry must outlive the manager: volume-level collectors
+  // detach from their subsystems' destructors.
+  obs::Registry reg;
+  svc::VolumeManager mgr(sc);
+  svc::create_stream_volumes(mgr, lp);
+  mgr.attach_metrics(reg);
+  const svc::LoadStats st = svc::run_stream_load(mgr, lp);
+  const obs::Snapshot snap = reg.snapshot();
+  const auto* coalesced = snap.find("service_coalesced_runs");
+  const std::uint64_t coalesced_runs = coalesced ? coalesced->counter : 0;
+  mgr.detach_metrics();
+  mgr.stop();
+
+  if (json) {
+    std::printf(
+        "{\"streams\": %lld, \"requests\": %lld, \"volumes\": %d, "
+        "\"tenants\": %d, \"shards\": %d, \"max_batch\": %d, "
+        "\"block_bytes\": %zu, \"p\": %d, \"read_pct\": %.0f, "
+        "\"rejected\": %lld, \"errors\": %llu, \"wall_s\": %.4f, "
+        "\"mbps\": %.2f, \"device_runs\": %llu, \"device_bytes\": %llu, "
+        "\"device_mbps\": %.4f, \"coalesced_runs\": %llu, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"max_us\": %llu}\n",
+        static_cast<long long>(st.streams),
+        static_cast<long long>(st.requests), lp.volumes, lp.tenants,
+        sc.shards, sc.max_batch, lp.block_bytes, lp.p,
+        lp.read_fraction * 100.0, static_cast<long long>(st.rejected),
+        static_cast<unsigned long long>(st.errors), st.wall_s, st.mbps,
+        static_cast<unsigned long long>(st.device_runs),
+        static_cast<unsigned long long>(st.device_bytes), st.device_mbps,
+        static_cast<unsigned long long>(coalesced_runs), st.p50_us,
+        st.p95_us, st.p99_us, static_cast<unsigned long long>(st.max_us));
+  } else {
+    std::printf(
+        "serve-bench: %lld streams x %d requests over %d volumes, "
+        "%d tenants, %zu B blocks, p=%d (%d shards, batch %d)\n",
+        static_cast<long long>(st.streams), lp.requests_per_stream,
+        lp.volumes, lp.tenants, lp.block_bytes, lp.p, sc.shards,
+        sc.max_batch);
+    std::printf("  requests   %lld  (rejected %lld, errors %llu)\n",
+                static_cast<long long>(st.requests),
+                static_cast<long long>(st.rejected),
+                static_cast<unsigned long long>(st.errors));
+    std::printf("  in-memory  %.3f s wall, %.1f MB/s\n", st.wall_s, st.mbps);
+    std::printf(
+        "  device     %llu runs, %llu coalesced, %.1f MB moved, "
+        "%.3f MB/s (device model)\n",
+        static_cast<unsigned long long>(st.device_runs),
+        static_cast<unsigned long long>(coalesced_runs),
+        static_cast<double>(st.device_bytes) / 1e6, st.device_mbps);
+    std::printf("  latency    p50 %.0f us  p95 %.0f us  p99 %.0f us  "
+                "max %llu us\n",
+                st.p50_us, st.p95_us, st.p99_us,
+                static_cast<unsigned long long>(st.max_us));
+  }
+  return st.errors == 0 ? 0 : 1;
 }
 
 int cmd_monitor(int argc, char** argv) {
@@ -649,7 +750,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: c56cli <layout|chains|analyze|convert|speedup|"
-                 "mttdl|stats|monitor|postmortem|scrub> ...\n");
+                 "mttdl|stats|serve-bench|monitor|postmortem|scrub> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -662,6 +763,7 @@ int main(int argc, char** argv) {
   if (cmd == "speedup") return cmd_speedup(argc, argv);
   if (cmd == "mttdl") return cmd_mttdl(argc, argv);
   if (cmd == "stats") return cmd_stats(argc, argv);
+  if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
   if (cmd == "monitor") return cmd_monitor(argc, argv);
   if (cmd == "postmortem") return cmd_postmortem(argc, argv);
   if (cmd == "scrub") return cmd_scrub(argc, argv);
