@@ -15,20 +15,34 @@
 // price the counted DiskArray I/O through sim::DiskParams, so the gate
 // is deterministic.
 //
-// Two exit-code gates, run by CI as --smoke:
+// Three exit-code gates, run by CI as --smoke:
 //   1. batching: deep-batch device throughput >= 2x max_batch=1.
 //   2. fan-out latency: aggregate p99 across 64 volumes (threaded, 4
 //      shards, admission-bounded) <= 3x the single-volume single-shard
 //      baseline p99 (noise-tolerant: retried up to 3 times).
+//   3. disabled overhead: with the full observability layer attached
+//      (metrics collectors, volume collectors, SLO tracker) but every
+//      switch off, in-memory throughput >= 0.98x a bare manager —
+//      the request-tracing layer must cost one branch per hop when
+//      disarmed (noise-tolerant: best-of-3 pairs, remeasured).
+//
+// Every run also leaves request-tracing artifacts next to the JSON:
+// service_trace.json (Chrome trace span trees of a small armed load)
+// and service_slow.json (its slowest-N exemplars), which CI uploads
+// when a gate fails.
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/trace.hpp"
 #include "service/loadgen.hpp"
+#include "service/slo.hpp"
 #include "service/volume_manager.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +72,27 @@ svc::LoadStats run_mode(const svc::LoadParams& lp, const svc::ServiceConfig& sc,
     *metrics_json = reg.to_json();
     mgr.detach_metrics();
   }
+  mgr.stop();
+  return st;
+}
+
+/// One run with the whole service-plane observability stack wired in —
+/// registry collectors, per-volume collectors, SLO tracker — the
+/// "attached" arm of the disabled-overhead gate and the armed artifact
+/// run. Whether any of it *observes* is up to the global switches.
+svc::LoadStats run_mode_attached(const svc::LoadParams& lp,
+                                 const svc::ServiceConfig& sc) {
+  obs::Registry reg;
+  svc::VolumeManager mgr(sc);
+  svc::create_stream_volumes(mgr, lp);
+  mgr.attach_metrics(reg);
+  mgr.attach_volume_metrics(reg);
+  svc::SloTracker slo(mgr);
+  slo.attach_metrics(reg);
+  svc::LoadStats st = svc::run_stream_load(mgr, lp);
+  slo.update();
+  slo.detach_metrics();
+  mgr.detach_metrics();
   mgr.stop();
   return st;
 }
@@ -175,6 +210,73 @@ int main(int argc, char** argv) {
              std::to_string(single.device_runs),
              TextTable::fmt(single.p99_us, 0)});
 
+  // --- Attached-but-disabled overhead (gate 3) --------------------
+  // Every switch off: the load must run at bare-manager speed even
+  // with the full tracing/metrics/SLO layer attached. The manual-pump
+  // load is single-threaded, so the arms are rated by payload over
+  // process CPU time — wall clock on a shared runner carries
+  // preemption noise far above the 2% budget. Pairs alternate so
+  // drift hits both arms; best-of per arm rejects residual noise.
+  obs::set_metrics_enabled(false);
+  svc::ServiceConfig overhead_cfg = base;
+  overhead_cfg.max_batch = 256;
+  svc::LoadParams overhead_lp = lp;
+  overhead_lp.streams = smoke ? lp.streams / 2 : lp.streams;
+  auto cpu_mbps = [&](bool attached) {
+    const std::clock_t c0 = std::clock();
+    svc::LoadStats st = attached ? run_mode_attached(overhead_lp, overhead_cfg)
+                                 : run_mode(overhead_lp, overhead_cfg);
+    const double cpu_s =
+        static_cast<double>(std::clock() - c0) / CLOCKS_PER_SEC;
+    return cpu_s > 0 ? static_cast<double>(st.payload_bytes) / cpu_s / 1e6
+                     : st.mbps;
+  };
+  double plain_best = 0, attached_best = 0, overhead_ratio = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt > 0) {
+      std::printf("overhead ratio %.4f below gate; remeasuring (%d/2)\n",
+                  overhead_ratio, attempt);
+    }
+    for (int round = 0; round < 3; ++round) {
+      plain_best = std::max(plain_best, cpu_mbps(false));
+      attached_best = std::max(attached_best, cpu_mbps(true));
+    }
+    overhead_ratio = plain_best > 0 ? attached_best / plain_best : 0;
+    if (overhead_ratio >= 0.98) break;
+  }
+  const bool overhead_pass = overhead_ratio >= 0.98;
+  obs::set_metrics_enabled(true);
+
+  // --- Armed artifact run -----------------------------------------
+  // A small fully-armed load so every bench run leaves a Chrome trace
+  // of request span trees and the slowest-N exemplar bundle on disk
+  // for CI to upload when a gate fails.
+  obs::set_trace_enabled(true);
+  obs::set_req_trace_enabled(true);
+  obs::TraceRecorder::global().clear();
+  obs::SlowRequestRing::global().clear();
+  {
+    svc::LoadParams trace_lp = lp;
+    trace_lp.volumes = 8;
+    trace_lp.tenants = 8;
+    trace_lp.streams = 2000;
+    svc::ServiceConfig trace_cfg;
+    trace_cfg.shards = 4;
+    run_mode_attached(trace_lp, trace_cfg);
+  }
+  obs::set_req_trace_enabled(false);
+  obs::set_trace_enabled(false);
+  if (FILE* f = std::fopen("service_trace.json", "w")) {
+    std::fputs(obs::TraceRecorder::global().to_json().c_str(), f);
+    std::fclose(f);
+  }
+  if (FILE* f = std::fopen("service_slow.json", "w")) {
+    std::fputs("{\"slow_requests\": ", f);
+    std::fputs(obs::SlowRequestRing::global().to_json().c_str(), f);
+    std::fputs("}\n", f);
+    std::fclose(f);
+  }
+
   std::ostringstream table_out;
   t.print(table_out);
   std::fputs(table_out.str().c_str(), stdout);
@@ -215,7 +317,13 @@ int main(int argc, char** argv) {
        << ", \"ratio\": " << p99_ratio
        << ", \"criteria\": \"64-volume aggregate p99 <= 3x single-volume "
           "baseline\", \"pass\": "
-       << (p99_pass ? "true" : "false") << "}\n  },\n"
+       << (p99_pass ? "true" : "false") << "},\n"
+       << "    \"disabled_overhead\": {\"plain_cpu_mbps\": " << plain_best
+       << ", \"attached_cpu_mbps\": " << attached_best
+       << ", \"ratio\": " << overhead_ratio
+       << ", \"criteria\": \"attached-but-disabled observability >= 0.98x "
+          "bare manager (CPU-time rated)\", \"pass\": "
+       << (overhead_pass ? "true" : "false") << "}\n  },\n"
        << "  \"metrics\": " << metrics_json << "\n}\n";
 
   std::printf(
@@ -227,11 +335,17 @@ int main(int argc, char** argv) {
       "fan-out p99: %.0f us over %.0f us baseline (%.2fx, need <= 3.0) -> "
       "%s\n",
       multi.p99_us, single.p99_us, p99_ratio, p99_pass ? "PASS" : "FAIL");
+  std::printf(
+      "disabled overhead: attached %.1f / plain %.1f MB/s CPU (%.4fx, need "
+      ">= 0.98) -> %s\n",
+      attached_best, plain_best, overhead_ratio,
+      overhead_pass ? "PASS" : "FAIL");
 
   if (FILE* f = std::fopen("BENCH_service.json", "w")) {
     std::fputs(json.str().c_str(), f);
     std::fclose(f);
-    std::printf("wrote BENCH_service.json\n");
+    std::printf("wrote BENCH_service.json (+ service_trace.json, "
+                "service_slow.json)\n");
   }
-  return batch_pass && p99_pass ? 0 : 1;
+  return batch_pass && p99_pass && overhead_pass ? 0 : 1;
 }

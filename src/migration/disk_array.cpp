@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/reqtrace.hpp"
+
 namespace c56::mig {
 
 const char* to_string(IoStatus s) noexcept {
@@ -187,6 +189,9 @@ void DiskArray::corrupt_block(int disk, std::int64_t block, std::size_t offset,
 
 IoResult DiskArray::read_block(int disk, std::int64_t block,
                                std::span<std::uint8_t> out) {
+  // Counted-I/O entry: attribute this call's wall time to the device
+  // stage of whatever request is executing on this thread.
+  obs::DeviceSpan dspan;
   check(disk, block);
   if (out.size() != block_bytes_) {
     throw std::invalid_argument("DiskArray::read_block: bad buffer size");
@@ -213,6 +218,7 @@ IoResult DiskArray::read_block(int disk, std::int64_t block,
 
 IoResult DiskArray::write_block(int disk, std::int64_t block,
                                 std::span<const std::uint8_t> in) {
+  obs::DeviceSpan dspan;
   check(disk, block);
   if (in.size() != block_bytes_) {
     throw std::invalid_argument("DiskArray::write_block: bad buffer size");
@@ -258,6 +264,7 @@ void DiskArray::check_range(int disk, std::int64_t block, std::size_t offset,
 IoResult DiskArray::read_range(int disk, std::int64_t block,
                                std::size_t offset,
                                std::span<std::uint8_t> out) {
+  obs::DeviceSpan dspan;
   check_range(disk, block, offset, out.size());
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.reads.inc();
@@ -282,6 +289,7 @@ IoResult DiskArray::read_range(int disk, std::int64_t block,
 IoResult DiskArray::write_range(int disk, std::int64_t block,
                                 std::size_t offset,
                                 std::span<const std::uint8_t> in) {
+  obs::DeviceSpan dspan;
   check_range(disk, block, offset, in.size());
   Disk& d = *disks_[static_cast<std::size_t>(disk)];
   d.writes.inc();
@@ -315,6 +323,7 @@ IoResult DiskArray::write_range(int disk, std::int64_t block,
 IoResult DiskArray::read_blocks(int disk, std::int64_t block,
                                 std::int64_t count,
                                 std::span<std::uint8_t> out) {
+  obs::DeviceSpan dspan;
   check_run(disk, block, count);
   if (out.size() != static_cast<std::size_t>(count) * block_bytes_) {
     throw std::invalid_argument("DiskArray::read_blocks: bad buffer size");
@@ -366,6 +375,7 @@ IoResult DiskArray::read_blocks(int disk, std::int64_t block,
 IoResult DiskArray::write_blocks(int disk, std::int64_t block,
                                  std::int64_t count,
                                  std::span<const std::uint8_t> in) {
+  obs::DeviceSpan dspan;
   check_run(disk, block, count);
   if (in.size() != static_cast<std::size_t>(count) * block_bytes_) {
     throw std::invalid_argument("DiskArray::write_blocks: bad buffer size");

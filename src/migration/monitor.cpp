@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 #include "util/env.hpp"
 
@@ -292,6 +293,11 @@ std::string MigrationMonitor::postmortem_json() const {
     out << (i ? ",\n    " : "\n    ") << obs::to_json(events[i]);
   }
   out << "\n  ],\n";
+  // Tail-request exemplars ride along: when foreground latency blew up
+  // during the window the bundle covers, the slowest-N ring says which
+  // stage ate the time.
+  out << "  \"slow_requests\": " << obs::SlowRequestRing::global().to_json()
+      << ",\n";
   out << "  \"trace\": " << trace << ",\n";
   out << "  \"registry\": " << registry << "}\n";
   return out.str();

@@ -84,6 +84,50 @@ double HistogramSnapshot::quantile(double q) const {
   return static_cast<double>(max);
 }
 
+HistogramSnapshot HistogramSnapshot::minus(const HistogramSnapshot& prev) const {
+  if (prev.count > count || prev.sum > sum) return *this;
+  HistogramSnapshot d;
+  // Both bucket lists hold only non-empty buckets in ascending-ub
+  // order; march them together. A prev bucket that cur lacks, or that
+  // shrank, means the histogram was reset between snapshots.
+  std::size_t pi = 0;
+  for (const auto& [ub, n] : buckets) {
+    if (pi < prev.buckets.size() && prev.buckets[pi].first < ub) {
+      return *this;
+    }
+    std::uint64_t pn = 0;
+    if (pi < prev.buckets.size() && prev.buckets[pi].first == ub) {
+      pn = prev.buckets[pi].second;
+      ++pi;
+    }
+    if (pn > n) return *this;
+    if (n > pn) d.buckets.emplace_back(ub, n - pn);
+  }
+  if (pi < prev.buckets.size()) return *this;
+  d.count = count - prev.count;
+  d.sum = sum - prev.sum;
+  d.max = max;
+  d.p50 = d.quantile(0.50);
+  d.p95 = d.quantile(0.95);
+  d.p99 = d.quantile(0.99);
+  return d;
+}
+
+double HistogramSnapshot::count_above(std::uint64_t threshold) const {
+  double above = 0.0;
+  for (const auto& [ub, n] : buckets) {
+    const std::uint64_t lo = ub == 0 ? 0 : ub / 2 + 1;  // 2^(k-1)
+    if (lo > threshold) {
+      above += static_cast<double>(n);
+    } else if (ub > threshold) {
+      above += static_cast<double>(n) *
+               static_cast<double>(ub - threshold) /
+               static_cast<double>(ub - lo + 1);
+    }
+  }
+  return above;
+}
+
 // ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------
@@ -297,7 +341,60 @@ std::string base_name(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+/// The trailing {label} block including braces, or "".
+std::string label_block(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? "" : name.substr(brace);
+}
+
+/// Counter family name as exposed: the _total suffix sits before the
+/// label block, and bases that already end in _total keep one suffix
+/// (so "disk_array_reads{disk=...}" and "disk_array_reads_total" land
+/// in the same exposed family).
+std::string counter_family(const std::string& base) {
+  return base.ends_with("_total") ? base : base + "_total";
+}
+
+/// A label block with one more label spliced in before the closing
+/// brace; used to merge quantile="..." into labeled histogram series.
+std::string with_label(const std::string& labels, const std::string& kv) {
+  if (labels.empty()) return "{" + kv + "}";
+  return labels.substr(0, labels.size() - 1) + "," + kv + "}";
+}
+
+std::mutex& help_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, std::string>& help_map() {
+  static std::unordered_map<std::string, std::string> m;
+  return m;
+}
+
+/// HELP text: registered under the caller's base or the exposed family
+/// name, else the family with underscores spaced out (never empty, so
+/// the exposition grammar always sees a HELP line per family).
+std::string help_for(const std::string& raw_base, const std::string& family) {
+  {
+    std::lock_guard lk(help_mu());
+    auto& m = help_map();
+    if (auto it = m.find(raw_base); it != m.end()) return it->second;
+    if (auto it = m.find(family); it != m.end()) return it->second;
+  }
+  std::string out = family;
+  for (char& c : out) {
+    if (c == '_') c = ' ';
+  }
+  return out;
+}
+
 }  // namespace
+
+void set_metric_help(const std::string& base, const std::string& help) {
+  std::lock_guard lk(help_mu());
+  help_map()[base] = help;
+}
 
 /// JSON string escaping: label blocks embed quotes (disk="0"), and a
 /// hostile name must not be able to break the document.
@@ -358,35 +455,42 @@ std::string to_json(const Snapshot& snap) {
 
 std::string to_prometheus(const Snapshot& snap) {
   std::ostringstream out;
-  std::string last_typed;
+  std::string last_family;
   for (const Metric& m : snap.metrics) {
     const std::string base = base_name(m.name);
-    if (base != last_typed) {
+    const std::string labels = label_block(m.name);
+    const std::string family =
+        m.kind == MetricKind::kCounter ? counter_family(base) : base;
+    if (family != last_family) {
+      // The snapshot is name-sorted and '_' < '{', so every series of
+      // a family (suffixed or labeled) is adjacent: one HELP/TYPE pair
+      // heads each family.
       const char* type = m.kind == MetricKind::kCounter   ? "counter"
                          : m.kind == MetricKind::kGauge   ? "gauge"
                                                           : "summary";
-      out << "# TYPE " << base << " " << type << "\n";
-      last_typed = base;
+      out << "# HELP " << family << " " << help_for(base, family) << "\n"
+          << "# TYPE " << family << " " << type << "\n";
+      last_family = family;
     }
     switch (m.kind) {
       case MetricKind::kCounter:
-        out << m.name << " " << m.counter << "\n";
+        out << family << labels << " " << m.counter << "\n";
         break;
       case MetricKind::kGauge:
         out << m.name << " " << m.gauge << "\n";
         break;
       case MetricKind::kHistogram:
-        // Summary exposition; histogram names are label-free by
-        // convention (see header), so the quantile label is the only
-        // label block.
-        out << base << "{quantile=\"0.5\"} " << fmt_double(m.hist.p50) << "\n"
-            << base << "{quantile=\"0.95\"} " << fmt_double(m.hist.p95)
-            << "\n"
-            << base << "{quantile=\"0.99\"} " << fmt_double(m.hist.p99)
-            << "\n"
-            << base << "_sum " << m.hist.sum << "\n"
-            << base << "_count " << m.hist.count << "\n"
-            << base << "_max " << m.hist.max << "\n";
+        // Summary exposition; the quantile label merges into any
+        // caller-supplied label block.
+        out << base << with_label(labels, "quantile=\"0.5\"") << " "
+            << fmt_double(m.hist.p50) << "\n"
+            << base << with_label(labels, "quantile=\"0.95\"") << " "
+            << fmt_double(m.hist.p95) << "\n"
+            << base << with_label(labels, "quantile=\"0.99\"") << " "
+            << fmt_double(m.hist.p99) << "\n"
+            << base << "_sum" << labels << " " << m.hist.sum << "\n"
+            << base << "_count" << labels << " " << m.hist.count << "\n"
+            << base << "_max" << labels << " " << m.hist.max << "\n";
         break;
     }
   }

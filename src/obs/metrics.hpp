@@ -28,8 +28,13 @@
 // exporters render deterministically, so the two formats always agree.
 // Metric names use Prometheus conventions; per-instance dimensions go
 // in a trailing label block the caller appends to the name, e.g.
-// "disk_array_reads{disk=\"3\"}". Histogram names must stay label-free
-// (the Prometheus exporter adds its own quantile labels).
+// "disk_array_reads{disk=\"3\"}". Histograms may carry a label block
+// too (the Prometheus exporter merges its quantile label into it).
+// The Prometheus exporter is exposition-format conformant: counters
+// gain a _total suffix (inserted before the label block unless the
+// base already ends in _total), and every family is preceded by
+// # HELP and # TYPE lines. Help text comes from set_metric_help(),
+// falling back to the family name with underscores spaced out.
 
 #include <atomic>
 #include <cstdint>
@@ -96,6 +101,21 @@ struct HistogramSnapshot {
   /// Quantile from the bucket boundaries (linear interpolation inside
   /// the winning bucket). Exact for values that landed on a boundary.
   double quantile(double q) const;
+
+  /// Interval delta: this snapshot minus an earlier `prev` of the same
+  /// histogram, with p50/p95/p99 recomputed over the interval's
+  /// samples — the primitive behind rate windows (c56cli top) and the
+  /// SLO tracker's interval quantiles. If the histogram was reset
+  /// between the two snapshots (count, sum or any bucket would go
+  /// negative), the delta is *this unchanged: after a reset the
+  /// current snapshot IS the interval. max is carried from *this (a
+  /// lifetime max — the interval's true max is not recoverable).
+  HistogramSnapshot minus(const HistogramSnapshot& prev) const;
+
+  /// Estimated number of samples strictly above `threshold`, counting
+  /// whole buckets above it plus a linear fraction of the straddling
+  /// bucket. Feeds SLO violation estimates.
+  double count_above(std::uint64_t threshold) const;
 };
 
 /// Log2-bucketed histogram over non-negative integer samples (latency
@@ -212,5 +232,10 @@ class Registry {
 /// a snapshot rendered through either format carries the same values.
 std::string to_json(const Snapshot& snap);
 std::string to_prometheus(const Snapshot& snap);
+
+/// Register Prometheus # HELP text for a metric family, keyed by the
+/// label-free base name as callers write it (pre-_total; the exporter
+/// resolves either spelling). Process-wide; later calls overwrite.
+void set_metric_help(const std::string& base, const std::string& help);
 
 }  // namespace c56::obs

@@ -1,0 +1,143 @@
+#include "obs/reqtrace.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace c56::obs {
+
+void set_req_trace_enabled(bool on) noexcept {
+  detail::g_req_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void arm_req_trace_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const auto v = util::env_int("C56_REQ_TRACE", 0, 1); v && *v == 1) {
+      set_req_trace_enabled(true);
+    }
+  });
+}
+
+const char* stage_name(int stage) noexcept {
+  static constexpr const char* kNames[kStageCount] = {
+      "queue_wait", "sched_wait", "batch_assembly",
+      "planner",    "device",     "complete"};
+  if (stage < 0 || stage >= kStageCount) return "?";
+  return kNames[stage];
+}
+
+namespace {
+thread_local std::uint64_t t_device_ns = 0;
+}  // namespace
+
+std::uint64_t device_accum_ns() noexcept { return t_device_ns; }
+
+DeviceSpan::~DeviceSpan() {
+  if (start_ns_ < 0) return;
+  const std::int64_t end_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  if (end_ns > start_ns_) {
+    t_device_ns += static_cast<std::uint64_t>(end_ns - start_ns_);
+  }
+}
+
+const char* req_op_name(int op) noexcept {
+  switch (op) {
+    case 0: return "read";
+    case 1: return "write";
+    case 2: return "read_range";
+    case 3: return "write_range";
+    default: return "?";
+  }
+}
+
+SlowRequestRing::SlowRequestRing(std::size_t capacity)
+    : cap_(std::max<std::size_t>(capacity, 1)) {
+  heap_.reserve(cap_);
+}
+
+SlowRequestRing& SlowRequestRing::global() {
+  static SlowRequestRing* ring = [] {
+    std::size_t n = SlowRequestRing::kDefaultCapacity;
+    if (const auto v = util::env_int("C56_SLOW_N", 1, 1024)) {
+      n = static_cast<std::size_t>(*v);
+    }
+    return new SlowRequestRing(n);
+  }();
+  return *ring;
+}
+
+void SlowRequestRing::offer(const SlowRequest& r) {
+  considered_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free reject for the common case: the heap is full and this
+  // request is no slower than the slowest-N floor.
+  if (r.latency_us <= floor_.load(std::memory_order_relaxed)) return;
+
+  const auto slower = [](const SlowRequest& a, const SlowRequest& b) {
+    return a.latency_us > b.latency_us;  // min-heap on latency
+  };
+  std::lock_guard<std::mutex> lk(mu_);
+  if (heap_.size() < cap_) {
+    heap_.push_back(r);
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  } else {
+    if (r.latency_us <= heap_.front().latency_us) return;  // raced floor
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.back() = r;
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (heap_.size() == cap_) {
+    floor_.store(heap_.front().latency_us, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowRequest> SlowRequestRing::snapshot() const {
+  std::vector<SlowRequest> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.latency_us > b.latency_us;
+            });
+  return out;
+}
+
+void SlowRequestRing::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  heap_.clear();
+  floor_.store(0, std::memory_order_relaxed);
+  considered_.store(0, std::memory_order_relaxed);
+  admitted_.store(0, std::memory_order_relaxed);
+}
+
+std::string SlowRequestRing::to_json() const {
+  const std::vector<SlowRequest> reqs = snapshot();
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const SlowRequest& r = reqs[i];
+    if (i) out << ",";
+    out << "\n  {\"trace\": " << r.trace_id << ", \"tenant\": " << r.tenant
+        << ", \"volume\": " << r.volume << ", \"op\": \""
+        << req_op_name(r.op) << "\", \"result\": " << r.result
+        << ", \"logical\": " << r.logical << ", \"bytes\": " << r.bytes
+        << ", \"t_submit_us\": " << r.t_submit_us
+        << ", \"latency_us\": " << r.latency_us << ", \"stages_us\": {";
+    for (int s = 0; s < kStageCount; ++s) {
+      if (s) out << ", ";
+      out << "\"" << stage_name(s) << "\": " << r.stage_us[s];
+    }
+    out << "}}";
+  }
+  if (!reqs.empty()) out << "\n";
+  out << "]";
+  return out.str();
+}
+
+}  // namespace c56::obs

@@ -1,0 +1,185 @@
+#pragma once
+// Request-lifecycle tracing: the per-request identity, stage taxonomy
+// and tail-exemplar ring behind the service plane's latency
+// attribution (DESIGN.md §14).
+//
+// A request admitted while req_trace_enabled() is armed gets a
+// process-unique trace id and timestamps at every hop of its life:
+// SQ submit, shard wakeup, DRR drain, batch-execute start/end, and
+// completion. The six derived stages —
+//
+//   queue_wait      submit -> the drain pass that takes the op begins
+//   sched_wait      drain-pass begin -> this op popped by DRR
+//   batch_assembly  popped -> its volume group starts executing
+//   planner         group execute wall minus counted device time
+//   device          counted DiskArray I/O wall inside the group
+//   complete        group execute end -> completion callback done
+//
+// — telescope exactly to the end-to-end latency (planner+device
+// partition the group's execute wall; every other stage is a
+// difference of adjacent timestamps), so per-stage histogram sums
+// reconcile against the end-to-end histogram by construction.
+//
+// Disabled-cost contract: req_trace_enabled() is one relaxed
+// atomic-bool load, and every per-request timestamp is taken only for
+// ops whose trace_id was assigned while armed. Disarmed, the service
+// pays one predictable branch per hop and nothing else.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace c56::obs {
+
+namespace detail {
+inline std::atomic<bool> g_req_trace_enabled{false};
+inline std::atomic<std::uint64_t> g_next_trace_id{1};
+inline std::atomic<std::uint64_t> g_next_span_id{1};
+}  // namespace detail
+
+/// The request-tracing hot-path branch (independent of trace_enabled()
+/// so span recording and stage attribution arm separately).
+inline bool req_trace_enabled() noexcept {
+  return detail::g_req_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_req_trace_enabled(bool on) noexcept;
+
+/// One-time arming from C56_REQ_TRACE=1 (idempotent; the service front
+/// end calls this at construction).
+void arm_req_trace_from_env();
+
+/// Steady-clock microseconds — the shared timebase of every request
+/// timestamp, trace span and sampler tick.
+inline std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process-unique ids; never 0 (0 means "tracing was off").
+inline std::uint64_t next_trace_id() noexcept {
+  return detail::g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+inline std::uint64_t next_span_id() noexcept {
+  return detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Stage taxonomy
+// ---------------------------------------------------------------------
+
+enum class Stage : int {
+  kQueueWait = 0,
+  kSchedWait,
+  kBatchAssembly,
+  kPlanner,
+  kDevice,
+  kComplete,
+};
+inline constexpr int kStageCount = 6;
+
+/// "queue_wait", "sched_wait", ... (nullptr-safe: "?" out of range).
+const char* stage_name(int stage) noexcept;
+
+/// One histogram per stage; embedded wherever a per-scope breakdown
+/// lives (service-wide, per tenant, per volume).
+struct StageHistograms {
+  Histogram h[kStageCount];
+};
+
+// ---------------------------------------------------------------------
+// Device-time accounting
+// ---------------------------------------------------------------------
+
+/// Thread-local nanoseconds accumulated by DeviceSpan on this thread.
+/// Monotone; callers read it before and after a region and subtract.
+std::uint64_t device_accum_ns() noexcept;
+
+/// RAII wall-clock accumulator placed at the top of every counted
+/// DiskArray I/O entry point. Costs one relaxed-bool branch when
+/// request tracing is disarmed.
+class DeviceSpan {
+ public:
+  DeviceSpan() noexcept {
+    if (req_trace_enabled()) {
+      start_ns_ = std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+  }
+  ~DeviceSpan();
+  DeviceSpan(const DeviceSpan&) = delete;
+  DeviceSpan& operator=(const DeviceSpan&) = delete;
+
+ private:
+  std::int64_t start_ns_ = -1;  // -1: tracing was off at construction
+};
+
+// ---------------------------------------------------------------------
+// Slowest-N exemplar ring
+// ---------------------------------------------------------------------
+
+/// Numeric op kinds mirror svc::OpKind; the name table keeps the obs
+/// layer free of a service dependency.
+const char* req_op_name(int op) noexcept;
+
+/// One tail request, with its full stage breakdown.
+struct SlowRequest {
+  std::uint64_t trace_id = 0;
+  std::int32_t tenant = 0;
+  std::int32_t volume = 0;
+  std::int32_t op = 0;      // svc::OpKind numeric
+  std::int32_t result = 0;  // svc::Status numeric (0 = ok)
+  std::int64_t logical = 0;
+  std::int64_t bytes = 0;
+  std::uint64_t t_submit_us = 0;
+  std::uint64_t latency_us = 0;
+  std::uint64_t stage_us[kStageCount] = {};
+};
+
+/// Keeps the N slowest requests seen (min-heap keyed on latency, with
+/// an atomic floor so losing offers cost one relaxed load + compare).
+class SlowRequestRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16;
+
+  explicit SlowRequestRing(std::size_t capacity = kDefaultCapacity);
+
+  /// Process-wide ring the service's completion path offers into;
+  /// capacity comes from C56_SLOW_N (clamped to [1, 1024]) on first
+  /// touch.
+  static SlowRequestRing& global();
+
+  void offer(const SlowRequest& r);
+
+  /// Retained requests, slowest first.
+  std::vector<SlowRequest> snapshot() const;
+  void clear();
+
+  std::size_t capacity() const { return cap_; }
+  /// Offers made / offers that displaced (or filled) a slot.
+  std::uint64_t considered() const {
+    return considered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+
+  /// JSON array, slowest first, with per-stage microseconds. Embedded
+  /// verbatim in post-mortem bundles and c56cli slow --json.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t cap_;
+  std::vector<SlowRequest> heap_;  // min-heap by latency_us
+  std::atomic<std::uint64_t> floor_{0};  // heap min once full
+  std::atomic<std::uint64_t> considered_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+};
+
+}  // namespace c56::obs

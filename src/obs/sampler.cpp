@@ -92,9 +92,17 @@ bool MetricsSampler::set_jsonl_path(const std::string& path) {
     std::fclose(sink_);
     sink_ = nullptr;
   }
+  sink_path_.clear();
+  sink_bytes_ = 0;
   if (path.empty()) return true;
   sink_ = std::fopen(path.c_str(), "w");
+  if (sink_) sink_path_ = path;
   return sink_ != nullptr;
+}
+
+void MetricsSampler::set_jsonl_max_bytes(std::uint64_t n) {
+  std::lock_guard lk(mu_);
+  sink_max_bytes_ = n;
 }
 
 void MetricsSampler::add_probe(std::function<void()> probe) {
@@ -160,6 +168,19 @@ void MetricsSampler::tick() {
     const std::string line = sample_to_jsonl(s);
     std::fprintf(sink_, "%s\n", line.c_str());
     std::fflush(sink_);
+    sink_bytes_ += line.size() + 1;
+    if (sink_max_bytes_ != 0 && sink_bytes_ >= sink_max_bytes_ &&
+        !sink_path_.empty()) {
+      // Roll the sink: keep exactly one previous generation so an
+      // unattended --series run is bounded at ~2x the cap.
+      std::fclose(sink_);
+      const std::string prev = sink_path_ + ".1";
+      std::remove(prev.c_str());
+      std::rename(sink_path_.c_str(), prev.c_str());
+      sink_ = std::fopen(sink_path_.c_str(), "w");
+      sink_bytes_ = 0;
+      ++sink_rotations_;
+    }
   }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(s));
@@ -198,6 +219,16 @@ std::uint64_t MetricsSampler::ticks() const {
 std::uint64_t MetricsSampler::overwritten() const {
   std::lock_guard lk(mu_);
   return overwritten_;
+}
+
+std::uint64_t MetricsSampler::jsonl_rotations() const {
+  std::lock_guard lk(mu_);
+  return sink_rotations_;
+}
+
+std::uint64_t MetricsSampler::jsonl_bytes() const {
+  std::lock_guard lk(mu_);
+  return sink_bytes_;
 }
 
 }  // namespace c56::obs

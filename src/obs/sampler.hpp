@@ -42,6 +42,7 @@ class MetricsSampler {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
   static constexpr std::int64_t kDefaultIntervalMs = 100;
+  static constexpr std::uint64_t kDefaultJsonlMaxBytes = 64ull << 20;
 
   /// Interval comes from C56_SAMPLE_MS when set. `reg` must outlive
   /// the sampler.
@@ -56,6 +57,11 @@ class MetricsSampler {
   /// One JSONL line per tick: {"t_us": N, "metrics": {...}}.
   /// "" closes. May be called while running.
   bool set_jsonl_path(const std::string& path);
+  /// Size bound on the JSONL sink (0 = unbounded). When a tick pushes
+  /// the file past the cap it rotates: <path> -> <path>.1 (replacing
+  /// any previous .1) and a fresh <path> — so a long monitor --series
+  /// run holds at most ~2x the cap on disk. May be called any time.
+  void set_jsonl_max_bytes(std::uint64_t n);
   /// Runs at the start of every tick, on the sampling thread.
   void add_probe(std::function<void()> probe);
 
@@ -73,6 +79,8 @@ class MetricsSampler {
   std::vector<MetricsSample> samples() const;
   std::uint64_t ticks() const;        // samples ever taken
   std::uint64_t overwritten() const;  // evicted by ring wrap
+  std::uint64_t jsonl_rotations() const;  // sink rollovers so far
+  std::uint64_t jsonl_bytes() const;      // bytes in the current sink
 
  private:
   void run();
@@ -92,6 +100,10 @@ class MetricsSampler {
   std::uint64_t overwritten_ = 0;
   std::vector<std::function<void()>> probes_;
   std::FILE* sink_ = nullptr;
+  std::string sink_path_;
+  std::uint64_t sink_max_bytes_ = kDefaultJsonlMaxBytes;
+  std::uint64_t sink_bytes_ = 0;
+  std::uint64_t sink_rotations_ = 0;
 };
 
 }  // namespace c56::obs

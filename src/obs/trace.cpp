@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "util/env.hpp"
 
@@ -82,14 +83,31 @@ void TraceRecorder::clear() {
 
 std::string TraceRecorder::to_json() const {
   const std::vector<TraceSpan> spans = snapshot();
+  // Parent links only render when the parent survived the ring — a
+  // wrapped ring must never leave a child pointing at an evicted span.
+  std::unordered_set<std::uint64_t> present;
+  for (const TraceSpan& s : spans) {
+    if (s.span_id != 0) present.insert(s.span_id);
+  }
   std::ostringstream out;
   out << "{\"traceEvents\": [\n";
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const TraceSpan& s = spans[i];
     out << "  {\"name\": \"" << s.name << "\", \"ph\": \"X\", \"ts\": "
         << s.start_us << ", \"dur\": " << s.dur_us << ", \"pid\": 1, "
-        << "\"tid\": " << s.tid << "}"
-        << (i + 1 < spans.size() ? "," : "") << "\n";
+        << "\"tid\": " << s.tid;
+    if (s.trace_id != 0 || s.span_id != 0) {
+      out << ", \"args\": {\"trace\": " << s.trace_id << ", \"span\": "
+          << s.span_id;
+      if (s.parent_id != 0 && present.contains(s.parent_id)) {
+        out << ", \"parent\": " << s.parent_id;
+      }
+      if (s.tenant >= 0) out << ", \"tenant\": " << s.tenant;
+      if (s.volume >= 0) out << ", \"volume\": " << s.volume;
+      if (s.bytes >= 0) out << ", \"bytes\": " << s.bytes;
+      out << "}";
+    }
+    out << "}" << (i + 1 < spans.size() ? "," : "") << "\n";
   }
   out << "]}\n";
   return out.str();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/reqtrace.hpp"
+#include "obs/trace.hpp"
 #include "xorblk/pool.hpp"
 
 namespace c56::svc {
@@ -66,7 +68,7 @@ Status Shard::enqueue(QueuedOp&& op) {
   return Status::kOk;
 }
 
-void Shard::drain_locked(std::vector<QueuedOp>& out) {
+void Shard::drain_locked(std::vector<QueuedOp>& out, std::uint64_t wake_us) {
   const auto max_batch = static_cast<std::size_t>(shared_.cfg.max_batch);
   const std::int64_t quantum = shared_.cfg.quantum_blocks;
   while (!ring_.empty() && out.size() < max_batch) {
@@ -79,6 +81,13 @@ void Shard::drain_locked(std::vector<QueuedOp>& out) {
       q.deficit -= q.ops.front().cost;
       out.push_back(std::move(q.ops.front()));
       q.ops.pop_front();
+      if (QueuedOp& op = out.back(); op.rt.trace_id != 0) {
+        // queue_wait ends at the pass's wakeup; sched_wait is the DRR
+        // time until this op's pop. If tracing was disarmed after this
+        // op was admitted (wake_us == 0), fold sched_wait into zero.
+        op.rt.t_drain_us = obs::now_us();
+        op.rt.t_wake_us = wake_us != 0 ? wake_us : op.rt.t_drain_us;
+      }
     }
     if (q.ops.empty()) {
       // Leaving the ring forfeits the remaining deficit (classic DRR:
@@ -108,10 +117,30 @@ std::size_t Shard::run_batch(std::vector<QueuedOp>& batch) {
   std::size_t i = 0;
   while (i < batch.size()) {
     std::size_t j = i;
+    bool traced = false;
     while (j < batch.size() && batch[j].req.volume == batch[i].req.volume) {
+      traced = traced || batch[j].rt.trace_id != 0;
       ++j;
     }
+    // Traced ops share the group's execute wall and its counted device
+    // time: the batch executor coalesces across them, so finer-than-
+    // group attribution would be fiction.
+    std::uint64_t t0 = 0, dev0 = 0;
+    if (traced) {
+      dev0 = obs::device_accum_ns();
+      t0 = obs::now_us();
+    }
     batch[i].volume->execute({batch.data() + i, j - i});
+    if (traced) {
+      const std::uint64_t t1 = obs::now_us();
+      const std::uint64_t dev = obs::device_accum_ns() - dev0;
+      for (std::size_t k = i; k < j; ++k) {
+        if (batch[k].rt.trace_id == 0) continue;
+        batch[k].rt.t_exec_start_us = t0;
+        batch[k].rt.t_exec_end_us = t1;
+        batch[k].rt.device_ns = dev;
+      }
+    }
     for (std::size_t k = i; k < j; ++k) finish(batch[k]);
     i = j;
   }
@@ -119,10 +148,18 @@ std::size_t Shard::run_batch(std::vector<QueuedOp>& batch) {
 }
 
 void Shard::finish(QueuedOp& op) {
+  const auto now = std::chrono::steady_clock::now();
   const auto us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - op.submitted)
+      std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                            op.submitted)
           .count());
+  if (op.rt.trace_id != 0) {
+    record_request_obs(
+        op, static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    now.time_since_epoch())
+                    .count()));
+  }
   if (obs::metrics_enabled()) {
     auto& h = (op.req.kind == OpKind::kRead ||
                op.req.kind == OpKind::kReadRange)
@@ -145,6 +182,92 @@ void Shard::finish(QueuedOp& op) {
   }
 }
 
+void Shard::record_request_obs(QueuedOp& op, std::uint64_t t_finish_us) {
+  const ReqTimes& rt = op.rt;
+  // Never executed (kShutdown leftovers): there is no lifecycle to
+  // decompose, and recording a partial one would skew the stage sums
+  // away from the end-to-end histogram.
+  if (rt.t_exec_end_us == 0) return;
+  const auto sat = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  std::uint64_t stage_us[obs::kStageCount];
+  stage_us[0] = sat(rt.t_wake_us, rt.t_submit_us);        // queue_wait
+  stage_us[1] = sat(rt.t_drain_us, rt.t_wake_us);         // sched_wait
+  stage_us[2] = sat(rt.t_exec_start_us, rt.t_drain_us);   // batch_assembly
+  const std::uint64_t exec_wall = sat(rt.t_exec_end_us, rt.t_exec_start_us);
+  stage_us[4] = std::min(rt.device_ns / 1000, exec_wall);  // device
+  stage_us[3] = exec_wall - stage_us[4];                   // planner
+  stage_us[5] = sat(t_finish_us, rt.t_exec_end_us);        // complete
+  const std::uint64_t e2e_us = sat(t_finish_us, rt.t_submit_us);
+
+  const TenantId tenant = op.req.tenant;
+  if (obs::metrics_enabled()) {
+    TenantObs& to = shared_.tenant_obs_for(tenant);
+    to.latency_us.observe(e2e_us);
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      shared_.metrics.stages.h[s].observe(stage_us[s]);
+      to.stages.h[s].observe(stage_us[s]);
+      op.volume->stages().h[s].observe(stage_us[s]);
+    }
+  }
+
+  const std::int64_t bytes =
+      op.req.kind == OpKind::kRead || op.req.kind == OpKind::kWrite
+          ? op.req.count *
+                static_cast<std::int64_t>(op.volume->block_bytes())
+          : static_cast<std::int64_t>(op.req.kind == OpKind::kReadRange
+                                          ? op.req.out.size()
+                                          : op.req.in.size());
+
+  obs::SlowRequest slow;
+  slow.trace_id = rt.trace_id;
+  slow.tenant = tenant;
+  slow.volume = op.req.volume;
+  slow.op = static_cast<std::int32_t>(op.req.kind);
+  slow.result = static_cast<std::int32_t>(op.result);
+  slow.logical = op.req.logical;
+  slow.bytes = bytes;
+  slow.t_submit_us = rt.t_submit_us;
+  slow.latency_us = e2e_us;
+  for (int s = 0; s < obs::kStageCount; ++s) slow.stage_us[s] = stage_us[s];
+  obs::SlowRequestRing::global().offer(slow);
+
+  if (obs::trace_enabled()) {
+    // Full span tree: one root "request" span plus six stage children.
+    auto& rec = obs::TraceRecorder::global();
+    const std::uint64_t tid = static_cast<std::uint64_t>(id_);
+    obs::TraceSpan root;
+    root.name = "request";
+    root.start_us = rt.t_submit_us;
+    root.dur_us = e2e_us;
+    root.tid = tid;
+    root.trace_id = rt.trace_id;
+    root.span_id = obs::next_span_id();
+    root.tenant = tenant;
+    root.volume = op.req.volume;
+    root.bytes = bytes;
+    const std::uint64_t root_span = root.span_id;
+    rec.record(std::move(root));
+    // planner and device both start at the group's execute window (they
+    // partition it); every other stage starts at its own timestamp.
+    const std::uint64_t starts[obs::kStageCount] = {
+        rt.t_submit_us,     rt.t_wake_us,       rt.t_drain_us,
+        rt.t_exec_start_us, rt.t_exec_start_us, rt.t_exec_end_us};
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      obs::TraceSpan child;
+      child.name = obs::stage_name(s);
+      child.start_us = starts[s];
+      child.dur_us = stage_us[s];
+      child.tid = tid;
+      child.trace_id = rt.trace_id;
+      child.span_id = obs::next_span_id();
+      child.parent_id = root_span;
+      rec.record(std::move(child));
+    }
+  }
+}
+
 std::size_t Shard::pump() {
   std::vector<QueuedOp> batch;
   {
@@ -153,7 +276,7 @@ std::size_t Shard::pump() {
       shared_.metrics.queue_depth.observe(
           static_cast<std::uint64_t>(queued_.load(std::memory_order_relaxed)));
     }
-    drain_locked(batch);
+    drain_locked(batch, obs::req_trace_enabled() ? obs::now_us() : 0);
   }
   return run_batch(batch);
 }
@@ -177,7 +300,7 @@ void Shard::loop() {
           static_cast<std::uint64_t>(queued_.load(std::memory_order_relaxed)));
     }
     batch.clear();
-    drain_locked(batch);
+    drain_locked(batch, obs::req_trace_enabled() ? obs::now_us() : 0);
     lk.unlock();
     run_batch(batch);
     lk.lock();

@@ -48,13 +48,41 @@ struct ServiceMetrics {
   obs::Histogram batch_ops;      // ops per drained batch
   obs::Histogram read_latency_us;
   obs::Histogram write_latency_us;
+  // Service-wide stage decomposition of request-traced ops.
+  obs::StageHistograms stages;
+};
+
+/// Per-tenant observability state, allocated lazily on a tenant's
+/// first traced completion (4096 eager copies would be ~13 MiB of
+/// histograms nobody reads).
+struct TenantObs {
+  obs::Histogram latency_us;  // end-to-end, same timebase as stages
+  obs::StageHistograms stages;
 };
 
 /// State owned by the VolumeManager and shared with its shards.
 struct ServiceShared {
   ServiceShared()
       : tenant_inflight(static_cast<std::size_t>(kMaxTenants)),
-        tenant_completed(static_cast<std::size_t>(kMaxTenants)) {}
+        tenant_completed(static_cast<std::size_t>(kMaxTenants)),
+        tenant_obs(static_cast<std::size_t>(kMaxTenants)) {}
+  ~ServiceShared() {
+    for (auto& p : tenant_obs) delete p.load(std::memory_order_relaxed);
+  }
+
+  /// Lazily CAS-allocated per-tenant slot; the loser of a race deletes
+  /// its copy. Tenant must already be admission-validated.
+  TenantObs& tenant_obs_for(TenantId tenant) {
+    auto& slot = tenant_obs[static_cast<std::size_t>(tenant)];
+    TenantObs* p = slot.load(std::memory_order_acquire);
+    if (p) return *p;
+    auto* fresh = new TenantObs();
+    if (slot.compare_exchange_strong(p, fresh, std::memory_order_acq_rel)) {
+      return *fresh;
+    }
+    delete fresh;
+    return *p;
+  }
 
   ServiceConfig cfg;
   ServiceMetrics metrics;
@@ -63,6 +91,7 @@ struct ServiceShared {
   // resized — the vectors just avoid a 64 KiB inline struct).
   std::vector<std::atomic<std::int64_t>> tenant_inflight;
   std::vector<obs::Counter> tenant_completed;
+  std::vector<std::atomic<TenantObs*>> tenant_obs;
   // drain() rendezvous: completions that zero total_inflight signal it.
   std::mutex drain_mu;
   std::condition_variable drain_cv;
@@ -103,10 +132,15 @@ class Shard {
 
   void loop();
   /// DRR drain of up to cfg.max_batch ops into `out`; mu_ held.
-  void drain_locked(std::vector<QueuedOp>& out);
+  /// `wake_us` is the timestamp of this drain pass (0 when request
+  /// tracing is off) — traced ops record it as their queue_wait end.
+  void drain_locked(std::vector<QueuedOp>& out, std::uint64_t wake_us);
   /// Execute a drained batch (groups by volume) and complete each op.
   std::size_t run_batch(std::vector<QueuedOp>& batch);
   void finish(QueuedOp& op);
+  /// Stage decomposition + slow-ring offer + span emission for one
+  /// traced, executed op. `t_finish_us` shares the op's timebase.
+  void record_request_obs(QueuedOp& op, std::uint64_t t_finish_us);
 
   int id_;
   ServiceShared& shared_;

@@ -1,0 +1,84 @@
+#include "service/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.hpp"
+
+namespace c56::svc {
+
+SloTracker::SloTracker(VolumeManager& mgr, SloConfig cfg)
+    : mgr_(mgr), cfg_(cfg) {
+  if (const auto v = util::env_int("C56_SLO_P99_US", 1, 60'000'000)) {
+    cfg_.target_p99_us = static_cast<std::uint64_t>(*v);
+  }
+  cfg_.objective = std::clamp(cfg_.objective, 0.0, 0.999999);
+}
+
+void SloTracker::update() {
+  const std::vector<TenantId> tenants = mgr_.traced_tenants();
+  std::lock_guard lk(mu_);
+  for (const TenantId t : tenants) {
+    const obs::HistogramSnapshot cur = mgr_.tenant_latency(t);
+    State& st = tenants_[t];
+    st.cur.tenant = t;
+    const obs::HistogramSnapshot delta = cur.minus(st.prev);
+    st.cur.interval_count = delta.count;
+    if (delta.count > 0) {
+      st.cur.interval_p99_us = delta.p99;
+      const double viol = delta.count_above(cfg_.target_p99_us);
+      st.cur.violation_frac = viol / static_cast<double>(delta.count);
+      st.cur.burn_rate = st.cur.violation_frac / (1.0 - cfg_.objective);
+      st.cur.total_violations += viol;
+    } else {
+      // Quiet interval: no traffic means no budget burn.
+      st.cur.interval_p99_us = 0.0;
+      st.cur.violation_frac = 0.0;
+      st.cur.burn_rate = 0.0;
+    }
+    st.cur.total_count = cur.count;
+    st.prev = cur;
+  }
+}
+
+std::vector<SloTracker::TenantSlo> SloTracker::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<TenantSlo> out;
+  out.reserve(tenants_.size());
+  for (const auto& [t, st] : tenants_) out.push_back(st.cur);
+  return out;
+}
+
+void SloTracker::attach_metrics(obs::Registry& registry,
+                                const std::string& prefix) {
+  obs::set_metric_help(prefix + "_target_us",
+                       "SLO latency target in microseconds");
+  obs::set_metric_help(prefix + "_p99_us",
+                       "Interval p99 latency of traced requests per tenant");
+  obs::set_metric_help(
+      prefix + "_burn_x1000",
+      "Error-budget burn rate x1000 (1000 = sustainable rate)");
+  obs::set_metric_help(prefix + "_requests",
+                       "Lifetime traced completions per tenant");
+  obs::set_metric_help(prefix + "_violations",
+                       "Lifetime estimated SLO violations per tenant");
+  handle_ = registry.add_collector([this, prefix](obs::Collection& c) {
+    c.gauge(prefix + "_target_us",
+            static_cast<std::int64_t>(cfg_.target_p99_us));
+    std::lock_guard lk(mu_);
+    for (const auto& [t, st] : tenants_) {
+      const std::string label = "{tenant=\"" + std::to_string(t) + "\"}";
+      c.gauge(prefix + "_p99_us" + label,
+              static_cast<std::int64_t>(std::llround(st.cur.interval_p99_us)));
+      c.gauge(prefix + "_burn_x1000" + label,
+              static_cast<std::int64_t>(
+                  std::llround(st.cur.burn_rate * 1000.0)));
+      c.counter(prefix + "_requests" + label, st.cur.total_count);
+      c.counter(prefix + "_violations" + label,
+                static_cast<std::uint64_t>(
+                    std::llround(st.cur.total_violations)));
+    }
+  });
+}
+
+}  // namespace c56::svc

@@ -1,0 +1,94 @@
+#pragma once
+// Per-tenant SLO tracker: turns the service's per-tenant end-to-end
+// latency histograms into interval quantiles and error-budget burn
+// rates (DESIGN.md §14).
+//
+// The objective is "fraction of requests under target_p99_us must be
+// at least `objective`" (default 0.99 — i.e. target_p99_us is a p99
+// target). Each update() diffs every traced tenant's latency snapshot
+// against the previous one (HistogramSnapshot::minus), yielding the
+// interval's sample set; the violation fraction is estimated with
+// count_above() and normalized into a burn rate:
+//
+//   burn = violation_fraction / (1 - objective)
+//
+// burn == 1 means the tenant consumes its error budget exactly at the
+// sustainable rate; burn == 10 exhausts a 30-day budget in 3 days.
+// This is the pacing signal the fleet orchestrator (ROADMAP) will
+// throttle migrations against.
+//
+// update() is designed to run as a MetricsSampler probe (probe()), so
+// `c56cli top` and monitor --series get SLO gauges refreshed at the
+// sampling cadence for free. Feeding it requires request tracing
+// (obs::req_trace_enabled()) and metrics to be armed — without them
+// the per-tenant histograms never fill and every interval is empty.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/volume_manager.hpp"
+
+namespace c56::svc {
+
+struct SloConfig {
+  /// Latency target in microseconds; C56_SLO_P99_US overrides
+  /// (clamped to [1, 60'000'000]).
+  std::uint64_t target_p99_us = 50'000;
+  /// Required fraction of requests within target (0.99 = p99 target).
+  double objective = 0.99;
+};
+
+class SloTracker {
+ public:
+  /// `mgr` must outlive the tracker.
+  explicit SloTracker(VolumeManager& mgr, SloConfig cfg = {});
+
+  struct TenantSlo {
+    TenantId tenant = 0;
+    std::uint64_t interval_count = 0;  // traced completions this interval
+    double interval_p99_us = 0.0;
+    double violation_frac = 0.0;  // interval fraction above target
+    double burn_rate = 0.0;       // violation_frac / (1 - objective)
+    std::uint64_t total_count = 0;       // lifetime traced completions
+    double total_violations = 0.0;       // lifetime estimated violations
+  };
+
+  /// Evaluate one interval for every traced tenant.
+  void update();
+
+  /// Last evaluated interval, ascending tenant order.
+  std::vector<TenantSlo> snapshot() const;
+
+  /// Export gauges: <prefix>_target_us, and per tenant
+  /// <prefix>_p99_us / <prefix>_burn_x1000 (interval values) plus
+  /// <prefix>_requests / <prefix>_violations counters (lifetime).
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "service_slo");
+  void detach_metrics() { handle_.remove(); }
+
+  /// update() packaged for MetricsSampler::add_probe.
+  std::function<void()> probe() {
+    return [this] { update(); };
+  }
+
+  const SloConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct State {
+    obs::HistogramSnapshot prev;
+    TenantSlo cur;
+  };
+
+  VolumeManager& mgr_;
+  SloConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<TenantId, State> tenants_;
+  obs::CollectorHandle handle_;
+};
+
+}  // namespace c56::svc

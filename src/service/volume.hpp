@@ -32,11 +32,27 @@
 #include "migration/disk_array.hpp"
 #include "migration/online.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "service/request.hpp"
 
 namespace c56::svc {
 
 class Volume;
+
+/// Request-lifecycle timestamps, populated only for ops admitted while
+/// obs::req_trace_enabled() (trace_id != 0 is the marker). All values
+/// share obs::now_us()'s steady-clock timebase, so the six stages
+/// derived at completion telescope exactly to end-to-end latency (see
+/// obs/reqtrace.hpp).
+struct ReqTimes {
+  std::uint64_t trace_id = 0;       // 0: tracing was off at submit
+  std::uint64_t t_submit_us = 0;    // accepted into the shard SQ
+  std::uint64_t t_wake_us = 0;      // the drain pass taking it began
+  std::uint64_t t_drain_us = 0;     // popped by the DRR scheduler
+  std::uint64_t t_exec_start_us = 0;  // its volume group began executing
+  std::uint64_t t_exec_end_us = 0;    // its volume group finished
+  std::uint64_t device_ns = 0;      // counted DiskArray wall in the group
+};
 
 /// A request accepted into a shard's submission queue.
 struct QueuedOp {
@@ -45,6 +61,7 @@ struct QueuedOp {
   std::chrono::steady_clock::time_point submitted;
   std::int64_t cost = 1;            // DRR cost in blocks (clamped)
   Status result = Status::kOk;      // filled by Volume::execute
+  ReqTimes rt;
 };
 
 class Volume {
@@ -101,6 +118,11 @@ class Volume {
     return coalesced_runs_.value();
   }
 
+  /// Per-volume stage latency decomposition, observed by the shard's
+  /// completion path for request-traced ops while metrics are on.
+  obs::StageHistograms& stages() noexcept { return stages_; }
+  const obs::StageHistograms& stages() const noexcept { return stages_; }
+
  private:
   void execute_controller(std::span<QueuedOp> ops);
   void execute_migrator(std::span<QueuedOp> ops);
@@ -120,6 +142,7 @@ class Volume {
   obs::Counter blocks_;
   obs::Counter errors_;
   obs::Counter coalesced_runs_;
+  obs::StageHistograms stages_;
 };
 
 }  // namespace c56::svc

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/reqtrace.hpp"
 #include "util/env.hpp"
 
 namespace c56::svc {
@@ -13,6 +14,7 @@ constexpr std::int64_t kMaxOpCost = 1024;  // DRR cost clamp, blocks
 }
 
 VolumeManager::VolumeManager(ServiceConfig cfg) {
+  obs::arm_req_trace_from_env();
   if (const auto v = util::env_int("C56_SERVICE_SHARDS", 1, 256)) {
     cfg.shards = static_cast<int>(*v);
   }
@@ -112,6 +114,15 @@ Status VolumeManager::submit(Request req) {
       1, kMaxOpCost);
   op.volume = vol;
   op.submitted = std::chrono::steady_clock::now();
+  if (obs::req_trace_enabled()) {
+    op.rt.trace_id = obs::next_trace_id();
+    // Derived from the same clock read as `submitted` so the stage
+    // decomposition and the completion latency share one origin.
+    op.rt.t_submit_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            op.submitted.time_since_epoch())
+            .count());
+  }
   op.req = std::move(req);
 
   const Status s = shard_of(op.req.volume).enqueue(std::move(op));
@@ -153,6 +164,22 @@ std::size_t VolumeManager::pump_all() {
 
 void VolumeManager::attach_metrics(obs::Registry& registry,
                                    const std::string& prefix) {
+  obs::set_metric_help(prefix + "_submitted",
+                       "Requests accepted into a shard submission queue");
+  obs::set_metric_help(prefix + "_completed",
+                       "Requests completed (any status)");
+  obs::set_metric_help(prefix + "_rejected_budget",
+                       "Rejections by the per-tenant in-flight budget");
+  obs::set_metric_help(prefix + "_rejected_queue",
+                       "Rejections by the shard submission-queue cap");
+  obs::set_metric_help(prefix + "_latency_us",
+                       "End-to-end latency of request-traced ops per tenant");
+  for (int s = 0; s < obs::kStageCount; ++s) {
+    obs::set_metric_help(
+        prefix + "_stage_" + obs::stage_name(s) + "_us",
+        std::string("Request lifecycle stage latency: ") +
+            obs::stage_name(s));
+  }
   metrics_handle_ =
       registry.add_collector([this, prefix](obs::Collection& c) {
     const ServiceMetrics& m = shared_.metrics;
@@ -172,6 +199,12 @@ void VolumeManager::attach_metrics(obs::Registry& registry,
       c.gauge(prefix + "_queued{shard=\"" + std::to_string(s) + "\"}",
               shards_[s]->queued());
     }
+    // Service-wide stage decomposition (populated only while request
+    // tracing is armed; empty histograms still export for discovery).
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      c.histogram(prefix + "_stage_" + obs::stage_name(s) + "_us",
+                  shared_.metrics.stages.h[s].snapshot());
+    }
     const int nvol = volumes();
     std::uint64_t coalesced = 0;
     for (int v = 0; v < nvol; ++v) {
@@ -181,6 +214,14 @@ void VolumeManager::attach_metrics(obs::Registry& registry,
       c.counter(prefix + "_blocks" + label, vol.blocks_io());
       c.counter(prefix + "_io_errors" + label, vol.io_errors());
       coalesced += vol.coalesced_runs();
+      // Per-volume stages carry data only once a traced op completed
+      // on this volume; skip empty ones to keep the exposition lean.
+      for (int s = 0; s < obs::kStageCount; ++s) {
+        auto snap = vol.stages().h[s].snapshot();
+        if (snap.count == 0) continue;
+        c.histogram(prefix + "_stage_" + obs::stage_name(s) + "_us" + label,
+                    std::move(snap));
+      }
     }
     c.counter(prefix + "_coalesced_runs", coalesced);
     for (TenantId t = 0; t < kMaxTenants; ++t) {
@@ -192,8 +233,39 @@ void VolumeManager::attach_metrics(obs::Registry& registry,
       const std::string label = "{tenant=\"" + std::to_string(t) + "\"}";
       c.counter(prefix + "_tenant_completed" + label, done);
       c.gauge(prefix + "_tenant_inflight" + label, inf);
+      if (const TenantObs* to =
+              shared_.tenant_obs[ti].load(std::memory_order_acquire)) {
+        c.histogram(prefix + "_latency_us" + label,
+                    to->latency_us.snapshot());
+        for (int s = 0; s < obs::kStageCount; ++s) {
+          auto snap = to->stages.h[s].snapshot();
+          if (snap.count == 0) continue;
+          c.histogram(
+              prefix + "_stage_" + obs::stage_name(s) + "_us" + label,
+              std::move(snap));
+        }
+      }
     }
   });
+}
+
+obs::HistogramSnapshot VolumeManager::tenant_latency(TenantId tenant) const {
+  if (tenant < 0 || tenant >= kMaxTenants) return {};
+  const TenantObs* to =
+      shared_.tenant_obs[static_cast<std::size_t>(tenant)].load(
+          std::memory_order_acquire);
+  return to ? to->latency_us.snapshot() : obs::HistogramSnapshot{};
+}
+
+std::vector<TenantId> VolumeManager::traced_tenants() const {
+  std::vector<TenantId> out;
+  for (TenantId t = 0; t < kMaxTenants; ++t) {
+    if (shared_.tenant_obs[static_cast<std::size_t>(t)].load(
+            std::memory_order_acquire) != nullptr) {
+      out.push_back(t);
+    }
+  }
+  return out;
 }
 
 void VolumeManager::attach_volume_metrics(obs::Registry& registry) {

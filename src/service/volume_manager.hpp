@@ -91,6 +91,13 @@ class VolumeManager {
   void attach_volume_metrics(obs::Registry& registry);
   void detach_metrics() { metrics_handle_.remove(); }
 
+  /// End-to-end latency snapshot of one tenant's request-traced ops
+  /// (all-zero when the tenant never completed a traced request). The
+  /// SLO tracker diffs successive snapshots for interval quantiles.
+  obs::HistogramSnapshot tenant_latency(TenantId tenant) const;
+  /// Tenants with at least one traced completion, ascending.
+  std::vector<TenantId> traced_tenants() const;
+
  private:
   Shard& shard_of(VolumeId id) noexcept {
     return *shards_[static_cast<std::size_t>(id) % shards_.size()];

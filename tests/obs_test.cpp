@@ -231,10 +231,65 @@ TEST(Exporters, PrometheusSharesOneTypeLineAcrossLabeledSeries) {
     snap.metrics.push_back(std::move(m));
   }
   const std::string want =
-      "# TYPE x_reads counter\n"
-      "x_reads{disk=\"0\"} 3\n"
-      "x_reads{disk=\"1\"} 5\n";
+      "# HELP x_reads_total x reads total\n"
+      "# TYPE x_reads_total counter\n"
+      "x_reads_total{disk=\"0\"} 3\n"
+      "x_reads_total{disk=\"1\"} 5\n";
   EXPECT_EQ(obs::to_prometheus(snap), want);
+}
+
+TEST(Exporters, PrometheusMergesTotalSuffixedAndLabeledCounters) {
+  // "x_reads_total" (pre-suffixed) and "x_reads{...}" (labeled, bare)
+  // must land in ONE exposed family with a single HELP/TYPE header.
+  obs::Snapshot snap;
+  obs::Metric plain;
+  plain.name = "x_reads_total";
+  plain.kind = obs::MetricKind::kCounter;
+  plain.counter = 8;
+  snap.metrics.push_back(std::move(plain));
+  obs::Metric labeled;
+  labeled.name = "x_reads{disk=\"0\"}";
+  labeled.kind = obs::MetricKind::kCounter;
+  labeled.counter = 3;
+  snap.metrics.push_back(std::move(labeled));
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const obs::Metric& a, const obs::Metric& b) {
+              return a.name < b.name;
+            });
+  const std::string want =
+      "# HELP x_reads_total x reads total\n"
+      "# TYPE x_reads_total counter\n"
+      "x_reads_total 8\n"
+      "x_reads_total{disk=\"0\"} 3\n";
+  EXPECT_EQ(obs::to_prometheus(snap), want);
+}
+
+TEST(Exporters, PrometheusUsesRegisteredHelpText) {
+  obs::set_metric_help("helped_ops", "Operations with custom help");
+  obs::Snapshot snap;
+  obs::Metric m;
+  m.name = "helped_ops";
+  m.kind = obs::MetricKind::kCounter;
+  m.counter = 1;
+  snap.metrics.push_back(std::move(m));
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(
+      prom.find("# HELP helped_ops_total Operations with custom help\n"),
+      std::string::npos)
+      << prom;
+}
+
+TEST(Exporters, PrometheusRendersLabeledHistogramSeries) {
+  obs::Registry reg;
+  reg.histogram("lat_us{tenant=\"3\"}").observe(7);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE lat_us summary\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_us{tenant=\"3\",quantile=\"0.5\"} 7\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_us_sum{tenant=\"3\"} 7\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_count{tenant=\"3\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find("lat_us_max{tenant=\"3\"} 7\n"), std::string::npos);
 }
 
 TEST(Exporters, JsonEscapesLabelQuotes) {
@@ -259,19 +314,22 @@ TEST(Exporters, PrometheusRendersHistogramAsSummary) {
 }
 
 TEST(Exporters, PrometheusGoldenGrammar) {
-  // Golden rendering of a small mixed registry: counters and gauges one
-  // line each under one # TYPE per family (labels stripped), histograms
-  // as a summary block with quantile labels. Locks the exact grammar so
-  // scrapers can rely on it.
+  // Golden rendering of a small mixed registry: every family headed by
+  // # HELP and # TYPE, counters suffixed _total before their label
+  // block, histograms as a summary block with quantile labels merged
+  // into any existing labels. Locks the exact grammar so scrapers can
+  // rely on it.
   obs::Registry reg;
   reg.counter("io_reads{disk=\"0\"}").inc(3);
   reg.counter("io_reads{disk=\"1\"}").inc(5);
   reg.gauge("watermark").set(-1);
   reg.histogram("lat_us").observe(7);
   const std::string want =
-      "# TYPE io_reads counter\n"
-      "io_reads{disk=\"0\"} 3\n"
-      "io_reads{disk=\"1\"} 5\n"
+      "# HELP io_reads_total io reads total\n"
+      "# TYPE io_reads_total counter\n"
+      "io_reads_total{disk=\"0\"} 3\n"
+      "io_reads_total{disk=\"1\"} 5\n"
+      "# HELP lat_us lat us\n"
       "# TYPE lat_us summary\n"
       "lat_us{quantile=\"0.5\"} 7\n"
       "lat_us{quantile=\"0.95\"} 7\n"
@@ -279,6 +337,7 @@ TEST(Exporters, PrometheusGoldenGrammar) {
       "lat_us_sum 7\n"
       "lat_us_count 1\n"
       "lat_us_max 7\n"
+      "# HELP watermark watermark\n"
       "# TYPE watermark gauge\n"
       "watermark -1\n";
   EXPECT_EQ(reg.to_prometheus(), want);
@@ -295,10 +354,11 @@ TEST(Exporters, JsonAndPrometheusRenderIdenticalValues) {
   EXPECT_NE(json.find("\"events_total{kind=\\\"warn\\\"}\": 9"),
             std::string::npos)
       << json;
+  // Already-_total bases keep one suffix; bare counters gain it.
   EXPECT_NE(prom.find("events_total{kind=\"warn\"} 9\n"), std::string::npos)
       << prom;
   EXPECT_NE(json.find("\"plain_counter\": 4"), std::string::npos);
-  EXPECT_NE(prom.find("\nplain_counter 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("\nplain_counter_total 4\n"), std::string::npos);
   EXPECT_NE(json.find("\"eta_ms\": 1234"), std::string::npos);
   EXPECT_NE(prom.find("\neta_ms 1234\n"), std::string::npos);
 }
@@ -469,16 +529,27 @@ TEST(ObsIntegration, MigrateUnderFaultsExportsConsistently) {
     }
     return out;
   };
+  // Counters expose with the _total suffix spliced in before any label
+  // block; gauges keep their raw names. JSON keeps raw names for both.
+  auto expo_name = [](const std::string& name) {
+    const auto brace = name.find('{');
+    std::string base =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    if (!base.ends_with("_total")) base += "_total";
+    return brace == std::string::npos ? base : base + name.substr(brace);
+  };
   for (const obs::Metric& metric : snap.metrics) {
     std::string value;
+    std::string prom_name = metric.name;
     if (metric.kind == obs::MetricKind::kCounter) {
       value = std::to_string(metric.counter);
+      prom_name = expo_name(metric.name);
     } else if (metric.kind == obs::MetricKind::kGauge) {
       value = std::to_string(metric.gauge);
     } else {
       continue;  // histograms render structurally; covered above
     }
-    EXPECT_NE(prom.find("\n" + metric.name + " " + value + "\n"),
+    EXPECT_NE(prom.find("\n" + prom_name + " " + value + "\n"),
               std::string::npos)
         << metric.name;
     EXPECT_NE(json.find("\"" + json_key(metric.name) + "\": " + value),
@@ -486,10 +557,12 @@ TEST(ObsIntegration, MigrateUnderFaultsExportsConsistently) {
         << metric.name;
   }
 
-  // One TYPE line per family even with per-disk labels.
+  // One TYPE line per exposed family even though "disk_array_reads_total"
+  // (the unlabeled sum) and "disk_array_reads{disk=...}" (per-disk)
+  // arrive under different raw names.
   std::size_t type_lines = 0;
   for (std::size_t pos = 0;
-       (pos = prom.find("# TYPE disk_array_reads ", pos)) !=
+       (pos = prom.find("# TYPE disk_array_reads_total ", pos)) !=
        std::string::npos;
        ++pos) {
     ++type_lines;

@@ -1,0 +1,368 @@
+// Request-lifecycle tracing layer tests: histogram interval deltas
+// (incl. reset underflow), count_above estimation, the slowest-N
+// exemplar ring, device-time accumulation, TraceRecorder ring wrap
+// under concurrent writers (valid Chrome JSON, no dangling parents,
+// exact dropped counter), and the MetricsSampler JSONL sink bound.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "migration/disk_array.hpp"
+#include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace c56 {
+namespace {
+
+// ---------------------------------------------------------------------
+// HistogramSnapshot::minus / count_above
+// ---------------------------------------------------------------------
+
+TEST(SnapshotDelta, MinusYieldsIntervalCountsAndQuantiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(10);  // bucket [8, 15]
+  const obs::HistogramSnapshot before = h.snapshot();
+  for (int i = 0; i < 50; ++i) h.observe(1000);  // bucket [512, 1023]
+  const obs::HistogramSnapshot after = h.snapshot();
+
+  const obs::HistogramSnapshot d = after.minus(before);
+  EXPECT_EQ(d.count, 50u);
+  EXPECT_EQ(d.sum, 50u * 1000u);
+  ASSERT_EQ(d.buckets.size(), 1u);
+  EXPECT_EQ(d.buckets[0].first, 1023u);
+  EXPECT_EQ(d.buckets[0].second, 50u);
+  // Every interval sample sits in [512, 1023]: so must its quantiles.
+  EXPECT_GE(d.p50, 512.0);
+  EXPECT_LE(d.p99, 1023.0);
+}
+
+TEST(SnapshotDelta, MinusOfIdenticalSnapshotsIsEmpty) {
+  obs::Histogram h;
+  h.observe(7);
+  const obs::HistogramSnapshot s = h.snapshot();
+  const obs::HistogramSnapshot d = s.minus(s);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+  EXPECT_TRUE(d.buckets.empty());
+  EXPECT_EQ(d.p99, 0.0);
+}
+
+TEST(SnapshotDelta, ResetBetweenSnapshotsFallsBackToCurrent) {
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(100);
+  const obs::HistogramSnapshot before = h.snapshot();
+  h.reset();
+  for (int i = 0; i < 3; ++i) h.observe(100);
+  const obs::HistogramSnapshot after = h.snapshot();
+  // Total count went 10 -> 3: naive subtraction would underflow. The
+  // helper detects the reset and returns the current snapshot as-is.
+  const obs::HistogramSnapshot d = after.minus(before);
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_EQ(d.sum, 300u);
+}
+
+TEST(SnapshotDelta, BucketUnderflowWithGrownCountFallsBackToCurrent) {
+  // count and sum both grow, but one bucket shrank (reset + different
+  // value mix) — the per-bucket check must still catch it.
+  obs::Histogram h;
+  for (int i = 0; i < 5; ++i) h.observe(10);
+  const obs::HistogramSnapshot before = h.snapshot();
+  h.reset();
+  for (int i = 0; i < 2; ++i) h.observe(10);      // [8,15] shrank 5 -> 2
+  for (int i = 0; i < 20; ++i) h.observe(1000);   // count grew 5 -> 22
+  const obs::HistogramSnapshot after = h.snapshot();
+  ASSERT_GT(after.count, before.count);
+  ASSERT_GT(after.sum, before.sum);
+  const obs::HistogramSnapshot d = after.minus(before);
+  EXPECT_EQ(d.count, after.count);
+  EXPECT_EQ(d.sum, after.sum);
+}
+
+TEST(SnapshotDelta, CountAboveCountsWholeAndStraddlingBuckets) {
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(4);     // [4,7] bucket
+  for (int i = 0; i < 20; ++i) h.observe(1000);  // [512,1023] bucket
+  const obs::HistogramSnapshot s = h.snapshot();
+  // Threshold below both buckets: everything counts.
+  EXPECT_DOUBLE_EQ(s.count_above(3), 30.0);
+  // Threshold above both: nothing counts.
+  EXPECT_DOUBLE_EQ(s.count_above(1023), 0.0);
+  // Between the buckets: only the slow 20.
+  EXPECT_DOUBLE_EQ(s.count_above(100), 20.0);
+  // Straddling [512,1023]: a linear fraction of the 20.
+  const double mid = s.count_above(767);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 20.0);
+}
+
+// ---------------------------------------------------------------------
+// SlowRequestRing
+// ---------------------------------------------------------------------
+
+TEST(SlowRing, KeepsSlowestNInOrder) {
+  obs::SlowRequestRing ring(4);
+  for (std::uint64_t us = 1; us <= 10; ++us) {
+    obs::SlowRequest r;
+    r.trace_id = us;
+    r.latency_us = us * 100;
+    ring.offer(r);
+  }
+  const auto slow = ring.snapshot();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_EQ(slow[0].latency_us, 1000u);  // slowest first
+  EXPECT_EQ(slow[1].latency_us, 900u);
+  EXPECT_EQ(slow[2].latency_us, 800u);
+  EXPECT_EQ(slow[3].latency_us, 700u);
+  EXPECT_EQ(ring.considered(), 10u);
+}
+
+TEST(SlowRing, RejectsAtOrBelowFloorOnceFull) {
+  obs::SlowRequestRing ring(2);
+  obs::SlowRequest r;
+  r.latency_us = 500;
+  ring.offer(r);
+  ring.offer(r);  // full at floor 500
+  const std::uint64_t admitted = ring.admitted();
+  r.latency_us = 500;
+  ring.offer(r);  // ties lose
+  r.latency_us = 100;
+  ring.offer(r);
+  EXPECT_EQ(ring.admitted(), admitted);
+  r.latency_us = 501;
+  ring.offer(r);
+  EXPECT_EQ(ring.admitted(), admitted + 1);
+}
+
+TEST(SlowRing, ConcurrentOffersKeepTheGlobalSlowest) {
+  obs::SlowRequestRing ring(8);
+  constexpr int kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::SlowRequest r;
+        r.latency_us =
+            static_cast<std::uint64_t>(t * kPerThread + i + 1);
+        ring.offer(r);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const auto slow = ring.snapshot();
+  ASSERT_EQ(slow.size(), 8u);
+  // The 8 slowest of 1..4000 survive regardless of interleaving.
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    EXPECT_EQ(slow[i].latency_us,
+              static_cast<std::uint64_t>(kThreads * kPerThread - i));
+  }
+  EXPECT_EQ(ring.considered(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(SlowRing, ToJsonCarriesStageBreakdown) {
+  obs::SlowRequestRing ring(2);
+  obs::SlowRequest r;
+  r.trace_id = 42;
+  r.tenant = 3;
+  r.volume = 1;
+  r.op = 1;  // write
+  r.latency_us = 777;
+  r.stage_us[0] = 100;
+  r.stage_us[4] = 600;
+  ring.offer(r);
+  const std::string json = ring.to_json();
+  EXPECT_NE(json.find("\"trace\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"op\": \"write\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"device\": 600"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// DeviceSpan accumulation
+// ---------------------------------------------------------------------
+
+TEST(DeviceSpan, AccumulatesOnlyWhileArmed) {
+  mig::DiskArray array(3, 4, 64);
+  std::vector<std::uint8_t> buf(64);
+
+  const std::uint64_t before_off = obs::device_accum_ns();
+  for (int i = 0; i < 100; ++i) array.read_block(0, 0, buf);
+  EXPECT_EQ(obs::device_accum_ns(), before_off);  // disarmed: no cost
+
+  obs::set_req_trace_enabled(true);
+  const std::uint64_t before_on = obs::device_accum_ns();
+  for (int i = 0; i < 1000; ++i) array.read_block(0, 0, buf);
+  obs::set_req_trace_enabled(false);
+  EXPECT_GT(obs::device_accum_ns(), before_on);
+}
+
+// ---------------------------------------------------------------------
+// TraceRecorder ring wrap under concurrent writers
+// ---------------------------------------------------------------------
+
+/// Structural well-formedness scan: quotes balance, and braces/brackets
+/// balance outside string literals. Span names/args are controlled
+/// identifiers, so this catches any truncation or interleaving damage.
+void expect_json_structurally_valid(const std::string& json) {
+  long depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceWrap, ConcurrentWritersKeepJsonValidAndParentsLinked) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 8, kRequests = 100;
+  obs::TraceRecorder rec(kCapacity);
+
+  std::atomic<std::uint64_t> recorded{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&rec, &recorded, t] {
+      for (int i = 0; i < kRequests; ++i) {
+        // A two-span tree per iteration. The ring will wrap many times
+        // over, routinely evicting parents out from under children.
+        const std::uint64_t trace = obs::next_trace_id();
+        const std::uint64_t parent_span = obs::next_span_id();
+        obs::TraceSpan parent;
+        parent.name = "request";
+        parent.tid = static_cast<std::uint64_t>(t);
+        parent.trace_id = trace;
+        parent.span_id = parent_span;
+        rec.record(std::move(parent));
+        obs::TraceSpan child;
+        child.name = "device";
+        child.tid = static_cast<std::uint64_t>(t);
+        child.trace_id = trace;
+        child.span_id = obs::next_span_id();
+        child.parent_id = parent_span;
+        rec.record(std::move(child));
+        recorded.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  const std::uint64_t total = recorded.load();
+  ASSERT_EQ(total, static_cast<std::uint64_t>(kThreads) * kRequests * 2);
+  // Dropped-span accounting is exact: everything beyond capacity.
+  EXPECT_EQ(rec.dropped(), total - kCapacity);
+  EXPECT_EQ(rec.snapshot().size(), kCapacity);
+
+  const std::string json = rec.to_json();
+  expect_json_structurally_valid(json);
+
+  // Parent links never dangle: every rendered "parent" value must name
+  // a span rendered in the same document.
+  std::unordered_set<std::uint64_t> spans;
+  const std::string span_key = "\"span\": ";
+  for (std::size_t pos = 0;
+       (pos = json.find(span_key, pos)) != std::string::npos;
+       pos += span_key.size()) {
+    spans.insert(std::strtoull(json.c_str() + pos + span_key.size(),
+                               nullptr, 10));
+  }
+  EXPECT_FALSE(spans.empty());
+  const std::string parent_key = "\"parent\": ";
+  std::size_t parent_links = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find(parent_key, pos)) != std::string::npos;
+       pos += parent_key.size()) {
+    const std::uint64_t parent = std::strtoull(
+        json.c_str() + pos + parent_key.size(), nullptr, 10);
+    EXPECT_TRUE(spans.contains(parent)) << "dangling parent " << parent;
+    ++parent_links;
+  }
+  // Adjacent parent/child pairs survive together often enough that at
+  // least one link must render (children outnumber evictions 2:1).
+  EXPECT_GT(parent_links, 0u);
+}
+
+TEST(TraceWrap, EvictedParentLinkIsOmittedFromJson) {
+  obs::TraceRecorder rec(1);  // the child always evicts the parent
+  obs::TraceSpan parent;
+  parent.name = "request";
+  parent.span_id = obs::next_span_id();
+  const std::uint64_t parent_span = parent.span_id;
+  rec.record(std::move(parent));
+  obs::TraceSpan child;
+  child.name = "device";
+  child.span_id = obs::next_span_id();
+  child.parent_id = parent_span;
+  rec.record(std::move(child));
+  const std::string json = rec.to_json();
+  EXPECT_EQ(json.find("\"parent\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"device\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sampler JSONL sink bound
+// ---------------------------------------------------------------------
+
+TEST(SamplerSink, RotatesAtTheByteCap) {
+  obs::Registry reg;
+  reg.counter("spin").inc();
+  obs::MetricsSampler sampler(reg);
+  const std::string path = "reqtrace_sampler_rot_test.jsonl";
+  ASSERT_TRUE(sampler.set_jsonl_path(path));
+  sampler.set_jsonl_max_bytes(64);  // a line or two per generation
+  for (int i = 0; i < 10; ++i) sampler.sample_once();
+  EXPECT_GE(sampler.jsonl_rotations(), 1u);
+  // Current generation stays under cap + one line's slack.
+  EXPECT_LT(sampler.jsonl_bytes(), 64u + 256u);
+  std::FILE* cur = std::fopen(path.c_str(), "r");
+  ASSERT_NE(cur, nullptr);
+  std::fclose(cur);
+  std::FILE* prev = std::fopen((path + ".1").c_str(), "r");
+  ASSERT_NE(prev, nullptr);
+  std::fclose(prev);
+  sampler.set_jsonl_path("");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(SamplerSink, UnboundedWhenCapIsZero) {
+  obs::Registry reg;
+  reg.counter("spin").inc();
+  obs::MetricsSampler sampler(reg);
+  const std::string path = "reqtrace_sampler_nocap_test.jsonl";
+  ASSERT_TRUE(sampler.set_jsonl_path(path));
+  sampler.set_jsonl_max_bytes(0);
+  for (int i = 0; i < 50; ++i) sampler.sample_once();
+  EXPECT_EQ(sampler.jsonl_rotations(), 0u);
+  sampler.set_jsonl_path("");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace c56

@@ -17,7 +17,10 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
+#include "obs/trace.hpp"
 #include "scrub/scrubber.hpp"
+#include "service/slo.hpp"
 #include "service/volume_manager.hpp"
 #include "util/rng.hpp"
 
@@ -625,6 +628,251 @@ TEST(ServiceStress, ShardsVolumesMigrationScrubQuiesceIdentical) {
       EXPECT_EQ(got, want) << "volume " << v << " block " << l;
     }
   }
+}
+
+/// Arms metrics + request tracing (optionally span recording) for one
+/// test and restores the disarmed default on exit, clearing the global
+/// exemplar ring and trace recorder both ways.
+class ReqTraceArmed {
+ public:
+  explicit ReqTraceArmed(bool spans = false) {
+    obs::SlowRequestRing::global().clear();
+    obs::TraceRecorder::global().clear();
+    obs::set_metrics_enabled(true);
+    obs::set_req_trace_enabled(true);
+    if (spans) obs::set_trace_enabled(true);
+  }
+  ~ReqTraceArmed() {
+    obs::set_trace_enabled(false);
+    obs::set_req_trace_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::SlowRequestRing::global().clear();
+    obs::TraceRecorder::global().clear();
+  }
+};
+
+// The tracing acceptance test: under an 8-shard mixed read/write load
+// from concurrent clients, the six per-stage latency histograms must
+// decompose the end-to-end latency — their sums reconcile against the
+// per-tenant end-to-end sums within 5% (they telescope exactly by
+// construction; the slack absorbs clock truncation).
+TEST(ServiceTrace, StageDecompositionSumsMatchEndToEnd) {
+  constexpr int kClients = 4;
+  constexpr int kVolumes = 16;
+  constexpr int kOpsPerClient = 300;
+  constexpr std::size_t kBlock = 256;
+
+  ReqTraceArmed armed;
+  obs::Registry reg;
+  svc::ServiceConfig sc;
+  sc.shards = 8;
+  sc.max_batch = 64;
+  sc.tenant_inflight = 64;
+  svc::VolumeManager mgr(sc);
+  for (int v = 0; v < kVolumes; ++v) mgr.create_volume(small_volume(kBlock, 2));
+  mgr.attach_metrics(reg);
+
+  std::atomic<std::uint64_t> failures{0};
+  auto client_body = [&](int c) {
+    Rng rng(0x5106E5 + static_cast<std::uint64_t>(c));
+    // Buffers back in-flight requests, so they may only die after every
+    // completion of this client has run.
+    std::deque<std::vector<std::uint8_t>> buffers;
+    std::atomic<int> pending{0};
+    for (int i = 0; i < kOpsPerClient; ++i) {
+      Request r;
+      r.volume = static_cast<svc::VolumeId>(rng.next_below(kVolumes));
+      r.tenant = static_cast<svc::TenantId>(c);
+      r.logical = static_cast<std::int64_t>(rng.next_below(4));
+      if (rng.next_double() < 0.5) {
+        buffers.push_back(pattern(kBlock, rng.next_u64()));
+        r.kind = OpKind::kWrite;
+        r.in = {buffers.back().data(), kBlock};
+      } else {
+        buffers.emplace_back(kBlock);
+        r.kind = OpKind::kRead;
+        r.out = {buffers.back().data(), kBlock};
+      }
+      pending.fetch_add(1);
+      r.on_complete = [&](const svc::Completion& done) {
+        if (done.status != Status::kOk) failures.fetch_add(1);
+        pending.fetch_sub(1);
+      };
+      for (;;) {
+        const Status s = mgr.submit(r);
+        if (s == Status::kOk) break;  // pending drops in the callback
+        if (s != Status::kQueueFull) {
+          failures.fetch_add(1);
+          pending.fetch_sub(1);
+          break;
+        }
+        std::this_thread::yield();  // rejected: nothing queued, retry
+      }
+    }
+    while (pending.load() != 0) std::this_thread::yield();
+  };
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) threads.emplace_back(client_body, c);
+  for (auto& t : threads) t.join();
+  mgr.drain();
+  EXPECT_EQ(failures.load(), 0u);
+
+  const obs::Snapshot snap = reg.snapshot();
+  std::uint64_t stage_sum = 0;
+  std::uint64_t stage_count = 0;
+  for (int s = 0; s < obs::kStageCount; ++s) {
+    const std::string name =
+        std::string("service_stage_") + obs::stage_name(s) + "_us";
+    const auto* m = snap.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    stage_sum += m->hist.sum;
+    if (s == 0) stage_count = m->hist.count;
+    EXPECT_EQ(m->hist.count, stage_count) << name;
+  }
+  std::uint64_t e2e_sum = 0;
+  std::uint64_t e2e_count = 0;
+  for (int c = 0; c < kClients; ++c) {
+    const std::string name =
+        "service_latency_us{tenant=\"" + std::to_string(c) + "\"}";
+    const auto* m = snap.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    e2e_sum += m->hist.sum;
+    e2e_count += m->hist.count;
+  }
+  EXPECT_EQ(e2e_count, static_cast<std::uint64_t>(kClients) * kOpsPerClient);
+  EXPECT_EQ(stage_count, e2e_count);
+  ASSERT_GT(e2e_sum, 0u);
+  EXPECT_NEAR(static_cast<double>(stage_sum), static_cast<double>(e2e_sum),
+              0.05 * static_cast<double>(e2e_sum));
+
+  // The same decomposition also reaches each tenant's labeled stage
+  // histograms and the tail-exemplar ring.
+  const auto* t0 = snap.find("service_stage_device_us{tenant=\"0\"}");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->hist.count, static_cast<std::uint64_t>(kOpsPerClient));
+  EXPECT_EQ(obs::SlowRequestRing::global().considered(), e2e_count);
+}
+
+// The completion path must feed the tail ring and, when span recording
+// is armed too, emit a full request span tree whose stage children
+// reconcile against the exemplar's stage breakdown.
+TEST(ServiceTrace, SlowRingAndRequestSpanTreesCaptured) {
+  ReqTraceArmed armed(/*spans=*/true);
+  svc::VolumeManager mgr(manual_config(2));
+  const svc::VolumeId v0 = mgr.create_volume(small_volume());
+  std::vector<std::uint8_t> buf(512, 7);
+  for (int i = 0; i < 8; ++i) {
+    Request r;
+    r.kind = OpKind::kWrite;
+    r.volume = v0;
+    r.tenant = 5;
+    r.logical = i % 4;
+    r.in = {buf.data(), buf.size()};
+    ASSERT_EQ(mgr.submit(r), Status::kOk);
+  }
+  mgr.drain();
+
+  const auto slow = obs::SlowRequestRing::global().snapshot();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_LE(slow.size(), obs::SlowRequestRing::global().capacity());
+  for (const obs::SlowRequest& r : slow) {
+    EXPECT_NE(r.trace_id, 0u);
+    EXPECT_EQ(r.tenant, 5);
+    EXPECT_EQ(r.volume, v0);
+    EXPECT_EQ(r.op, 1);  // write
+    std::uint64_t sum = 0;
+    for (int s = 0; s < obs::kStageCount; ++s) sum += r.stage_us[s];
+    EXPECT_EQ(sum, r.latency_us);  // exact telescoping
+  }
+
+  const std::vector<obs::TraceSpan> spans =
+      obs::TraceRecorder::global().snapshot();
+  std::size_t roots = 0, children = 0;
+  for (const obs::TraceSpan& s : spans) {
+    if (s.name == "request") {
+      ++roots;
+      EXPECT_EQ(s.parent_id, 0u);
+      EXPECT_EQ(s.tenant, 5);
+      EXPECT_EQ(s.bytes, 512);
+    } else if (s.parent_id != 0) {
+      ++children;
+      const auto parent = std::find_if(
+          spans.begin(), spans.end(), [&](const obs::TraceSpan& p) {
+            return p.span_id == s.parent_id;
+          });
+      ASSERT_NE(parent, spans.end()) << "child " << s.name << " orphaned";
+      EXPECT_EQ(parent->trace_id, s.trace_id);
+      EXPECT_EQ(parent->name, "request");
+    }
+  }
+  EXPECT_EQ(roots, 8u);
+  EXPECT_EQ(children, roots * obs::kStageCount);
+}
+
+// SLO tracker: an unreachable 1us target flags (almost) every request
+// as a violation and burns budget at ~100x with the default 0.99
+// objective; a 60s target burns nothing. Quiet intervals burn nothing.
+TEST(ServiceSlo, BurnRateSeparatesTightAndLooseTargets) {
+  constexpr int kOps = 50;
+  ReqTraceArmed armed;
+  obs::Registry reg;
+  svc::VolumeManager mgr(manual_config(2));
+  const svc::VolumeId v0 = mgr.create_volume(small_volume());
+
+  svc::SloConfig tight_cfg;
+  tight_cfg.target_p99_us = 1;
+  svc::SloTracker tight(mgr, tight_cfg);
+  svc::SloConfig loose_cfg;
+  loose_cfg.target_p99_us = 60'000'000;
+  svc::SloTracker loose(mgr, loose_cfg);
+  tight.attach_metrics(reg);
+
+  std::vector<std::uint8_t> buf(512, 9);
+  for (int i = 0; i < kOps; ++i) {
+    Request r;
+    r.kind = OpKind::kWrite;
+    r.volume = v0;
+    r.tenant = 2;
+    r.in = {buf.data(), buf.size()};
+    ASSERT_EQ(mgr.submit(r), Status::kOk);
+  }
+  mgr.drain();
+
+  tight.update();
+  loose.update();
+  const auto tight_snap = tight.snapshot();
+  ASSERT_EQ(tight_snap.size(), 1u);
+  const auto& ts = tight_snap[0];
+  EXPECT_EQ(ts.tenant, 2);
+  EXPECT_EQ(ts.interval_count, static_cast<std::uint64_t>(kOps));
+  EXPECT_EQ(ts.total_count, static_cast<std::uint64_t>(kOps));
+  EXPECT_GT(ts.violation_frac, 0.5);
+  EXPECT_NEAR(ts.burn_rate, ts.violation_frac * 100.0, 1e-9);
+  EXPECT_GT(ts.interval_p99_us, 1.0);
+
+  const auto loose_snap = loose.snapshot();
+  ASSERT_EQ(loose_snap.size(), 1u);
+  EXPECT_EQ(loose_snap[0].violation_frac, 0.0);
+  EXPECT_EQ(loose_snap[0].burn_rate, 0.0);
+  EXPECT_EQ(loose_snap[0].total_count, static_cast<std::uint64_t>(kOps));
+
+  // Quiet interval: counts stick, burn goes to zero.
+  tight.update();
+  const auto quiet = tight.snapshot();
+  ASSERT_EQ(quiet.size(), 1u);
+  EXPECT_EQ(quiet[0].interval_count, 0u);
+  EXPECT_EQ(quiet[0].burn_rate, 0.0);
+  EXPECT_EQ(quiet[0].total_count, static_cast<std::uint64_t>(kOps));
+
+  const obs::Snapshot snap = reg.snapshot();
+  const auto* target = snap.find("service_slo_target_us");
+  ASSERT_NE(target, nullptr);
+  EXPECT_EQ(target->gauge, 1);
+  const auto* requests = snap.find("service_slo_requests{tenant=\"2\"}");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->counter, static_cast<std::uint64_t>(kOps));
+  EXPECT_NE(snap.find("service_slo_burn_x1000{tenant=\"2\"}"), nullptr);
+  tight.detach_metrics();
 }
 
 }  // namespace

@@ -29,6 +29,21 @@
 //                                              migrate, plant write-time and
 //                                              backdoor corruption, scrub
 //                                              (detect-only unless --repair)
+//   c56cli slow    [--volumes N] [--tenants N] [--streams N] [--requests N]
+//                  [--block BYTES] [--p PRIME] [--shards N] [--batch N]
+//                  [--reads PCT] [--n N] [--json]
+//                                              run a request-traced stream
+//                                              load and print the slowest-N
+//                                              tail exemplars with per-stage
+//                                              latency attribution (ring
+//                                              capacity: C56_SLOW_N)
+//   c56cli top     [--seconds N] [--ms N] [--volumes N] [--tenants N]
+//                  [--streams N] [--block BYTES] [--p PRIME] [--shards N]
+//                  [--reads PCT]               live per-tenant/volume/stage
+//                                              view over a looping stream
+//                                              load: interval req/s, stage
+//                                              p99s, and SLO burn rates from
+//                                              sampler snapshot deltas
 //
 // Codes: code56 rdp evenodd xcode pcode hcode hdp
 // Approaches: via-raid0 via-raid4 direct
@@ -59,9 +74,11 @@
 #include "migration/trace_gen.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/sampler.hpp"
 #include "scrub/scrubber.hpp"
 #include "service/loadgen.hpp"
+#include "service/slo.hpp"
 #include "service/volume_manager.hpp"
 #include "sim/event_sim.hpp"
 #include "util/rng.hpp"
@@ -744,13 +761,221 @@ int cmd_scrub(int argc, char** argv) {
   return 0;
 }
 
+/// Shared flag parsing for the request-traced load commands (slow, top).
+svc::LoadParams parse_load_params(int argc, char** argv,
+                                  std::int64_t default_streams) {
+  svc::LoadParams lp;
+  lp.volumes = static_cast<int>(flag_value(argc, argv, "--volumes", 8));
+  lp.tenants = static_cast<int>(flag_value(argc, argv, "--tenants", 8));
+  lp.streams = flag_value(argc, argv, "--streams", default_streams);
+  lp.requests_per_stream =
+      static_cast<int>(flag_value(argc, argv, "--requests", 2));
+  lp.block_bytes =
+      static_cast<std::size_t>(flag_value(argc, argv, "--block", 512));
+  lp.p = static_cast<int>(flag_value(argc, argv, "--p", 7));
+  lp.read_fraction =
+      static_cast<double>(flag_value(argc, argv, "--reads", 25)) / 100.0;
+  lp.seed = 0xC56;
+  return lp;
+}
+
+bool load_params_valid(const svc::LoadParams& lp) {
+  return lp.volumes >= 1 && lp.tenants >= 1 && lp.streams >= 1 &&
+         lp.requests_per_stream >= 1 && lp.block_bytes >= 16 &&
+         lp.read_fraction >= 0 && lp.read_fraction <= 1;
+}
+
+int cmd_slow(int argc, char** argv) {
+  const bool json = has_flag(argc, argv, "--json");
+  const svc::LoadParams lp = parse_load_params(argc, argv, 5000);
+  if (!load_params_valid(lp)) {
+    std::fprintf(stderr,
+                 "usage: c56cli slow [--volumes N] [--tenants N] "
+                 "[--streams N] [--requests N] [--block BYTES] [--p PRIME] "
+                 "[--shards N] [--batch N] [--reads PCT] [--n N] [--json]\n");
+    return 2;
+  }
+  svc::ServiceConfig sc;
+  sc.shards = static_cast<int>(flag_value(argc, argv, "--shards", 4));
+  sc.max_batch = static_cast<int>(flag_value(argc, argv, "--batch", 256));
+
+  obs::set_metrics_enabled(true);
+  obs::set_req_trace_enabled(true);
+  obs::SlowRequestRing& ring = obs::SlowRequestRing::global();
+  ring.clear();
+
+  obs::Registry reg;  // outlives the manager (volume collectors)
+  svc::VolumeManager mgr(sc);
+  svc::create_stream_volumes(mgr, lp);
+  mgr.attach_metrics(reg);
+  const svc::LoadStats st = svc::run_stream_load(mgr, lp);
+  mgr.detach_metrics();
+  mgr.stop();
+
+  if (json) {
+    std::printf("{\"requests\": %lld, \"wall_s\": %.4f, \"mbps\": %.2f, "
+                "\"considered\": %llu, \"capacity\": %zu, "
+                "\"slow_requests\": %s}\n",
+                static_cast<long long>(st.requests), st.wall_s, st.mbps,
+                static_cast<unsigned long long>(ring.considered()),
+                ring.capacity(), ring.to_json().c_str());
+    return st.errors == 0 ? 0 : 1;
+  }
+
+  const auto slow = ring.snapshot();
+  const auto n = std::min<std::size_t>(
+      slow.size(), static_cast<std::size_t>(std::max<long long>(
+                       1, flag_value(argc, argv, "--n", 16))));
+  std::printf("slow: %lld requests traced, slowest %zu of %llu "
+              "(ring capacity %zu; override with C56_SLOW_N)\n",
+              static_cast<long long>(st.requests), n,
+              static_cast<unsigned long long>(ring.considered()),
+              ring.capacity());
+  std::printf("  %10s %6s %6s %11s %8s | %8s %8s %8s %8s %8s %8s\n", "trace",
+              "tenant", "volume", "op", "lat_us", "queue", "sched", "batch",
+              "planner", "device", "complete");
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::SlowRequest& r = slow[i];
+    std::printf("  %10llu %6d %6d %11s %8llu |",
+                static_cast<unsigned long long>(r.trace_id), r.tenant,
+                r.volume, obs::req_op_name(r.op),
+                static_cast<unsigned long long>(r.latency_us));
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      std::printf(" %8llu", static_cast<unsigned long long>(r.stage_us[s]));
+    }
+    std::printf("\n");
+  }
+  return st.errors == 0 ? 0 : 1;
+}
+
+int cmd_top(int argc, char** argv) {
+  const long long seconds = flag_value(argc, argv, "--seconds", 3);
+  const long long interval_ms = flag_value(argc, argv, "--ms", 250);
+  svc::LoadParams lp = parse_load_params(argc, argv, 10000);
+  if (seconds < 1 || interval_ms < 10 || !load_params_valid(lp)) {
+    std::fprintf(stderr,
+                 "usage: c56cli top [--seconds N>=1] [--ms N>=10] "
+                 "[--volumes N] [--tenants N] [--streams N] [--block BYTES] "
+                 "[--p PRIME] [--shards N] [--reads PCT]\n");
+    return 2;
+  }
+  svc::ServiceConfig sc;
+  sc.shards = static_cast<int>(flag_value(argc, argv, "--shards", 4));
+
+  obs::set_metrics_enabled(true);
+  obs::set_req_trace_enabled(true);
+
+  obs::Registry reg;
+  svc::VolumeManager mgr(sc);
+  svc::create_stream_volumes(mgr, lp);
+  mgr.attach_metrics(reg);
+  svc::SloTracker slo(mgr);
+  slo.attach_metrics(reg);
+  obs::MetricsSampler sampler(reg);
+  sampler.set_interval_ms(interval_ms);
+  sampler.add_probe(slo.probe());
+
+  // The load loops complete passes in the background until the watch
+  // window closes; each pass reseeds so the interleave varies.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    std::uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      svc::LoadParams pass = lp;
+      pass.seed = lp.seed + ++round;
+      svc::run_stream_load(mgr, pass);
+    }
+  });
+
+  std::printf("top: %d volumes, %d tenants, %d shards, SLO p99 target "
+              "%llu us (C56_SLO_P99_US)\n",
+              lp.volumes, lp.tenants, sc.shards,
+              static_cast<unsigned long long>(slo.config().target_p99_us));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::seconds(seconds);
+  sampler.sample_once();  // baseline for the first delta
+  obs::Snapshot prev = sampler.samples().back().snap;
+  std::uint64_t prev_us = sampler.samples().back().t_us;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    sampler.sample_once();
+    const obs::MetricsSample cur = sampler.samples().back();
+    const double dt = static_cast<double>(cur.t_us - prev_us) / 1e6;
+    if (dt <= 0) continue;
+
+    const auto counter_delta = [&](const std::string& name) -> std::uint64_t {
+      const obs::Metric* c = cur.snap.find(name);
+      const obs::Metric* p = prev.find(name);
+      if (!c) return 0;
+      const std::uint64_t was = p ? p->counter : 0;
+      return c->counter > was ? c->counter - was : 0;
+    };
+    const double wall_s =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()) /
+        1e3;
+    const auto* inflight = cur.snap.find("service_inflight");
+    std::printf("[t=%5.1fs] %8.0f req/s  inflight %lld\n", wall_s,
+                static_cast<double>(counter_delta("service_completed")) / dt,
+                static_cast<long long>(inflight ? inflight->gauge : 0));
+
+    std::printf("  stage p99 us:");
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      const std::string name =
+          std::string("service_stage_") + obs::stage_name(s) + "_us";
+      const obs::Metric* c = cur.snap.find(name);
+      const obs::Metric* p = prev.find(name);
+      double p99 = 0;
+      if (c) p99 = (p ? c->hist.minus(p->hist) : c->hist).p99;
+      std::printf("  %s %.0f", obs::stage_name(s), p99);
+    }
+    std::printf("\n");
+
+    auto tenants = slo.snapshot();
+    std::sort(tenants.begin(), tenants.end(),
+              [](const auto& a, const auto& b) {
+                return a.interval_count > b.interval_count;
+              });
+    for (std::size_t i = 0; i < tenants.size() && i < 4; ++i) {
+      const auto& t = tenants[i];
+      if (t.interval_count == 0) break;
+      std::printf("  tenant %-3d %8.0f req/s  p99 %7.0f us  burn %.2fx\n",
+                  t.tenant, static_cast<double>(t.interval_count) / dt,
+                  t.interval_p99_us, t.burn_rate);
+    }
+    std::vector<std::pair<std::uint64_t, int>> vols;
+    for (int v = 0; v < lp.volumes; ++v) {
+      const std::uint64_t ops = counter_delta(
+          "service_ops{volume=\"" + std::to_string(v) + "\"}");
+      if (ops > 0) vols.emplace_back(ops, v);
+    }
+    std::sort(vols.rbegin(), vols.rend());
+    for (std::size_t i = 0; i < vols.size() && i < 4; ++i) {
+      std::printf("  volume %-3d %8.0f ops/s\n", vols[i].second,
+                  static_cast<double>(vols[i].first) / dt);
+    }
+    prev = cur.snap;
+    prev_us = cur.t_us;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  slo.detach_metrics();
+  mgr.detach_metrics();
+  mgr.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: c56cli <layout|chains|analyze|convert|speedup|"
-                 "mttdl|stats|serve-bench|monitor|postmortem|scrub> ...\n");
+                 "mttdl|stats|serve-bench|monitor|postmortem|scrub|slow|"
+                 "top> ...\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -767,6 +992,8 @@ int main(int argc, char** argv) {
   if (cmd == "monitor") return cmd_monitor(argc, argv);
   if (cmd == "postmortem") return cmd_postmortem(argc, argv);
   if (cmd == "scrub") return cmd_scrub(argc, argv);
+  if (cmd == "slow") return cmd_slow(argc, argv);
+  if (cmd == "top") return cmd_top(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
